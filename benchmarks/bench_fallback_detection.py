@@ -1,0 +1,17 @@
+"""§7.2: detection of unrepresentative recordings and vanilla fallback."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fallback_detection(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fallback")
+    report(result)
+    # The manager re-records once, then falls back to vanilla snapshots.
+    assert result.metrics["re_records"] == 1
+    assert result.metrics["fell_back"] == 1.0
+    modes = [row["mode"] for row in result.rows]
+    assert modes[0] == "record"
+    assert modes[-1] == "vanilla"
+    assert "reap" in modes

@@ -1,0 +1,19 @@
+"""Fig. 2: cold-start latency breakdown vs warm invocations."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig2_cold_vs_warm(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig2")
+    report(result)
+    # Headline claim: cold starts are 1-2 orders of magnitude above warm
+    # for the short-running functions (the training/video functions have
+    # multi-second warm times, so their ratios are smaller).
+    assert result.metrics["max_cold_over_warm"] > 100
+    assert result.metrics["min_cold_over_warm"] > 1.4
+    # Every baseline cold bar within 15 % of the paper's.
+    for row in result.rows:
+        deviation = abs(row["cold_ms"] / row["paper_cold_ms"] - 1)
+        assert deviation < 0.15, row

@@ -1,0 +1,16 @@
+"""Fig. 3: spatial contiguity of faulted guest memory pages."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig3_contiguity(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig3")
+    report(result)
+    # Paper: 2-3 pages for all functions except lr_training (~5).
+    for row in result.rows:
+        if row["function"] == "lr_training":
+            assert 3.0 <= row["mean_run_length"] <= 5.5
+        else:
+            assert 1.8 <= row["mean_run_length"] <= 3.2, row

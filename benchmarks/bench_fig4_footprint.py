@@ -1,0 +1,20 @@
+"""Fig. 4: booted-instance footprint vs restore working set."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+from repro.bench import reference
+
+
+def test_fig4_footprints(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig4")
+    report(result)
+    low, high = reference.FIG4_RESTORE_RANGE_MB
+    assert low <= result.metrics["restore_min_mb"]
+    assert result.metrics["restore_max_mb"] <= high
+    red_low, red_high = reference.FIG4_REDUCTION_RANGE
+    assert red_low <= result.metrics["reduction_min"]
+    assert result.metrics["reduction_max"] <= red_high
+    boot_low, boot_high = reference.FIG4_BOOT_RANGE_MB
+    for row in result.rows:
+        assert boot_low * 0.95 <= row["booted_mb"] <= boot_high * 1.05

@@ -1,0 +1,14 @@
+"""Fig. 5: page reuse across invocations with different inputs."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig5_reuse(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig5")
+    report(result)
+    # Paper: >=97 % of pages identical for 7/10 functions, >76 % for the
+    # large-input ones.
+    assert result.metrics["min_same_small_input"] >= 0.95
+    assert result.metrics["min_same_overall"] >= 0.70

@@ -1,0 +1,22 @@
+"""Fig. 7: the optimization ladder (vanilla -> parallel PFs -> WS file
+-> REAP) on helloworld, with effective SSD bandwidths (§6.2)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig7_design_points(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig7")
+    report(result)
+    # The ladder must be strictly monotonic, as in the paper.
+    assert result.metrics["monotonic_ladder"] == 1.0
+    # Every design point within 20 % of the paper's bar.
+    for row in result.rows:
+        assert abs(row["total_ms"] / row["paper_ms"] - 1) < 0.20, row
+    # Effective bandwidth climbs from tens of MB/s to hundreds.
+    by_mode = {row["design_point"]: row["ssd_mbps"] for row in result.rows}
+    assert by_mode["vanilla"] < 60
+    assert by_mode["reap"] > 450
+    assert by_mode["vanilla"] < by_mode["parallel_pf"] \
+        < by_mode["ws_file"] < by_mode["reap"]

@@ -1,0 +1,22 @@
+"""Fig. 8: baseline snapshots vs REAP for every function (§6.3)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+from repro.bench import reference
+
+
+def test_fig8_reap_speedup(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig8")
+    report(result)
+    # Geometric-mean speedup in the paper's neighbourhood (3.7x).
+    assert 2.8 <= result.metrics["speedup_geomean"] <= 4.5
+    # Range: video_processing ~1x up to lr_serving ~7-10x.
+    assert result.metrics["speedup_min"] < 1.3
+    assert result.metrics["speedup_max"] > 6.0
+    # Connection restoration shrinks to a few ms under REAP (§6.3).
+    low, high = reference.REAP_CONNECTION_MS_RANGE
+    assert result.metrics["reap_connection_ms_max"] <= high
+    # Every function must get faster with REAP.
+    for row in result.rows:
+        assert row["speedup"] > 1.0, row

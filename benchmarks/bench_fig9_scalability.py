@@ -1,0 +1,25 @@
+"""Fig. 9: average cold-start latency vs concurrent loading instances."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_fig9_scalability(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fig9")
+    report(result)
+    # Baseline grows near-linearly; REAP stays well below it everywhere.
+    assert result.metrics["baseline_growth"] > 5.0
+    assert result.metrics["reap_growth"] < result.metrics["baseline_growth"]
+    assert result.metrics["reap_advantage_at_max"] > 3.0
+    rows = {row["concurrency"]: row for row in result.rows}
+    for level, row in rows.items():
+        assert row["reap_avg_ms"] < row["baseline_avg_ms"], row
+    # Baseline latency increases monotonically with concurrency.
+    levels = sorted(rows)
+    baseline = [rows[level]["baseline_avg_ms"] for level in levels]
+    assert baseline == sorted(baseline)
+    # REAP's aggregate fetch bandwidth far exceeds the baseline's
+    # fault-bound extraction at high concurrency (§6.5).
+    top = rows[levels[-1]]
+    assert top["reap_agg_mbps"] > 2 * top["baseline_agg_mbps"]

@@ -1,0 +1,14 @@
+"""§5.2.3: fio-style SSD calibration microbenchmarks."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+from repro.bench import reference
+
+
+def test_fio_ssd_calibration(benchmark, report):
+    result = run_once(benchmark, run_experiment, "fio")
+    report(result)
+    for key, paper in reference.FIO_MBPS.items():
+        measured = result.metrics[key]
+        assert abs(measured / paper - 1) < 0.12, (key, measured, paper)

@@ -1,0 +1,17 @@
+"""§7.1: prefetched-but-unused pages track the unique-page fraction."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+from repro.bench import reference
+
+
+def test_mispredictions(benchmark, report):
+    result = run_once(benchmark, run_experiment, "mispredictions")
+    report(result)
+    low, high = reference.MISPREDICTION_RANGE
+    assert low <= result.metrics["mispredict_min"] + 0.02
+    assert result.metrics["mispredict_max"] <= high + 0.25  # video outlier
+    # Mispredictions never break correctness: demand faults resolved all.
+    for row in result.rows:
+        assert row["unused_pages"] < row["prefetched_pages"], row

@@ -1,0 +1,16 @@
+"""§6.4: one-time overhead of REAP's record phase."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+from repro.bench import reference
+
+
+def test_record_overhead(benchmark, report):
+    result = run_once(benchmark, run_experiment, "record_overhead")
+    report(result)
+    low, high = reference.RECORD_OVERHEAD_RANGE
+    assert low <= result.metrics["overhead_min"]
+    assert result.metrics["overhead_max"] <= high
+    # Mean near the paper's ~28 %.
+    assert 0.15 <= result.metrics["overhead_mean"] <= 0.40

@@ -1,0 +1,16 @@
+"""§7.1 extension: snapshots on disaggregated (S3/EBS-style) storage."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_remote_storage(benchmark, report):
+    result = run_once(benchmark, run_experiment, "remote_storage")
+    report(result)
+    # REAP helps everywhere, and *more* when snapshots are remote: lazy
+    # paging pays a round trip per page, REAP one per working set.
+    assert result.metrics["remote_speedup_geomean"] > \
+        result.metrics["local_speedup_geomean"]
+    for row in result.rows:
+        assert row["speedup"] > 1.0, row

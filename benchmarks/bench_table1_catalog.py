@@ -1,0 +1,13 @@
+"""Table 1: the FunctionBench workload catalog."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_table1_catalog(benchmark, report):
+    result = run_once(benchmark, run_experiment, "table1")
+    report(result)
+    assert result.metrics["functions"] == 10
+    names = {row["name"] for row in result.rows}
+    assert "helloworld" in names and "video_processing" in names

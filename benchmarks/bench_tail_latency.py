@@ -1,0 +1,17 @@
+"""§3.3 extension: latency distribution under sporadic client load."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_tail_latency(benchmark, report):
+    result = run_once(benchmark, run_experiment, "tail_latency")
+    report(result)
+    for function in ("helloworld", "pyaes"):
+        # Typical and tail cold starts improve several-fold under REAP.
+        assert result.metrics[f"{function}_p50_improvement"] > 3.0
+        assert result.metrics[f"{function}_p99_improvement"] > 3.0
+    # Traffic is sporadic: most requests are cold starts.
+    for row in result.rows:
+        assert float(row["cold_fraction"].rstrip("%")) > 50

@@ -1,0 +1,14 @@
+"""§6.3: cold-start results with 20 warm functions serving traffic."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+from repro.bench import reference
+
+
+def test_warm_background(benchmark, report):
+    result = run_once(benchmark, run_experiment, "warm_background")
+    report(result)
+    tolerance = reference.WARM_BACKGROUND_TOLERANCE
+    assert result.metrics["baseline_delta"] <= tolerance
+    assert result.metrics["reap_delta"] <= tolerance

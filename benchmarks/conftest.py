@@ -1,0 +1,35 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Every benchmark regenerates one table/figure via the experiment harness,
+writes the rendered paper-vs-measured report to ``benchmarks/results/``
+and asserts the qualitative claims that must hold for the reproduction
+to count (orderings, ranges, shapes) -- not exact milliseconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report():
+    """Fixture: persist and print an ExperimentResult."""
+
+    def _report(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""§4-style characterization of serverless functions.
+
+Reproduces the paper's three analysis angles on a subset of the
+FunctionBench suite:
+
+* memory footprints: booted instance vs snapshot-restore working set
+  (Fig. 4),
+* spatial contiguity of faulted guest pages (Fig. 3),
+* cross-invocation page reuse under changing inputs (Fig. 5).
+
+Run with::
+
+    python examples/characterize_workloads.py [function ...]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.bench.harness import Testbed
+from repro.functions import FunctionBehavior, get_profile
+from repro.memory.working_set import (
+    contiguous_runs,
+    mean_run_length,
+    reuse_between,
+)
+
+
+def characterize(name: str) -> dict:
+    profile = get_profile(name)
+
+    # Footprints: boot one instance, restore another from a snapshot.
+    testbed = Testbed(seed=7)
+    entry = testbed.run(
+        testbed.orchestrator.deploy(profile, take_snapshot=False))
+    boot_mb = entry.warm[0].vm.memory.resident_bytes / 1e6
+
+    testbed = Testbed(seed=7)
+    testbed.deploy(profile)
+    testbed.invoke(name, mode="vanilla", keep_warm=True)
+    restored = testbed.orchestrator.function(name).warm[0].vm
+    restore_mb = restored.memory.resident_bytes / 1e6
+
+    # Locality and reuse from the workload model directly.
+    behavior = FunctionBehavior(profile, seed=7)
+    first = behavior.trace_for(1).page_set
+    second = behavior.trace_for(2).page_set
+    reuse = reuse_between(first, second)
+
+    return {
+        "function": name,
+        "boot_mb": round(boot_mb, 1),
+        "restore_mb": round(restore_mb, 1),
+        "reduction": f"{1 - restore_mb / boot_mb:.0%}",
+        "runs": len(contiguous_runs(first)),
+        "mean_run": round(mean_run_length(first), 2),
+        "same_pages": f"{reuse.same_fraction:.1%}",
+    }
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["helloworld", "image_rotate", "cnn_serving"]
+    rows = [characterize(name) for name in names]
+    print(format_table(rows, title="Workload characterization (§4)"))
+    print("\npaper: restore footprints are 3-39% of booted footprints;")
+    print("runs of 2-3 pages defeat disk readahead; >=76-97% of pages")
+    print("recur across invocations -- the properties REAP exploits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""A multi-worker serverless cluster with autoscaling and keep-alive.
+
+Builds the full vHive-style stack: two workers (each with its own SSD,
+containerd control plane, and REAP-enabled orchestrator) behind an
+Istio-style load balancer, with Knative-style per-function autoscaling
+and idle-instance reaping.  Three tenants share the cluster with
+different traffic patterns; the script reports warm/cold hit rates and
+how REAP changes the cold-start tail.
+
+Run with::
+
+    python examples/multi_tenant_cluster.py
+"""
+
+from repro.analysis.report import format_table
+from repro.functions import get_profile
+from repro.orchestrator import AutoscalerParameters, Cluster
+from repro.sim import Environment, SEC
+from repro.sim.rng import RandomStream
+
+
+TENANTS = {
+    # function        mean inter-arrival (s)
+    "helloworld": 5.0,
+    "pyaes": 20.0,
+    "json_serdes": 60.0,
+}
+
+
+def main() -> None:
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=13,
+                      autoscaler_params=AutoscalerParameters(
+                          keepalive_s=120.0, scan_period_s=15.0))
+    for name in TENANTS:
+        env.run(until=env.process(cluster.deploy(get_profile(name))))
+
+    stats = {name: {"cold": 0, "warm": 0, "cold_ms": [], "warm_ms": []}
+             for name in TENANTS}
+    rng = RandomStream(13, "traffic")
+
+    def tenant_traffic(name: str, mean_gap_s: float):
+        stream = rng.child(name)
+        for _ in range(40):
+            yield env.timeout(stream.expovariate(1.0 / mean_gap_s) * SEC)
+            result = yield from cluster.invoke(name)
+            bucket = "warm" if result.mode == "warm" else "cold"
+            stats[name][bucket] += 1
+            stats[name][f"{bucket}_ms"].append(result.latency_ms)
+
+    jobs = [env.process(tenant_traffic(name, gap))
+            for name, gap in TENANTS.items()]
+    env.run(until=env.all_of(jobs))
+    cluster.shutdown()
+
+    rows = []
+    for name, tally in stats.items():
+        total = tally["cold"] + tally["warm"]
+        rows.append({
+            "function": name,
+            "requests": total,
+            "warm_rate": f"{tally['warm'] / total:.0%}",
+            "avg_warm_ms": round(sum(tally["warm_ms"])
+                                 / max(len(tally["warm_ms"]), 1), 1),
+            "avg_cold_ms": round(sum(tally["cold_ms"])
+                                 / max(len(tally["cold_ms"]), 1), 1),
+        })
+    print(format_table(rows, title="Multi-tenant cluster, 40 requests/tenant"))
+    print("\ncold starts above ran through REAP after each function's")
+    print("first (record) invocation; infrequently-invoked functions see")
+    print("more cold starts -- exactly the population REAP targets (§7.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Full-suite REAP evaluation (the Fig. 8 experiment as a script).
+
+For every FunctionBench function: baseline snapshot cold start, REAP
+record, then REAP prefetch -- printing the same per-function speedups
+and the geometric mean the paper reports.
+
+Run with::
+
+    python examples/reap_sweep.py
+"""
+
+from repro.analysis.aggregate import geometric_mean
+from repro.analysis.report import format_table
+from repro.bench import reference
+from repro.bench.harness import Testbed
+from repro.functions import FUNCTIONBENCH
+
+
+def main() -> None:
+    rows = []
+    speedups = []
+    for name, profile in FUNCTIONBENCH.items():
+        testbed = Testbed(seed=42)
+        testbed.deploy(profile)
+        baseline = testbed.invoke(name, mode="vanilla")
+        testbed.invoke(name)          # record phase
+        reap = testbed.invoke(name)   # prefetch phase
+        speedup = baseline.latency_ms / reap.latency_ms
+        speedups.append(speedup)
+        rows.append({
+            "function": name,
+            "baseline_ms": round(baseline.latency_ms, 0),
+            "reap_ms": round(reap.latency_ms, 0),
+            "speedup": round(speedup, 2),
+            "paper_speedup": round(reference.FIG2_COLD_MS[name]
+                                   / reference.FIG8_REAP_MS[name], 2),
+        })
+    print(format_table(rows, title="Baseline vs REAP cold starts (Fig. 8)"))
+    print(f"\ngeometric-mean speedup: {geometric_mean(speedups):.2f}x "
+          f"(paper: ~{reference.FIG8_SPEEDUP_GEOMEAN}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517/660 editable installs (which need ``bdist_wheel``) fail.  This
+shim keeps ``pip install -e . --no-build-isolation --no-use-pep517``
+working through the legacy ``setup.py develop`` path.  All real metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro: reproduction of "Benchmarking, Analysis, and Optimization of
+Serverless Function Snapshots" (vHive/REAP, ASPLOS 2021).
+
+The package simulates a serverless worker host end to end -- Firecracker
+MicroVM snapshots, the containerd storage path, the host page cache, a
+calibrated SSD/HDD -- and implements REAP (record-and-prefetch of guest
+working sets over userfaultfd) on top of it.
+
+Typical entry points:
+
+>>> from repro import Testbed, get_profile
+>>> testbed = Testbed(seed=42)
+>>> testbed.deploy(get_profile("helloworld"))
+>>> cold = testbed.invoke("helloworld", mode="vanilla")
+>>> _record = testbed.invoke("helloworld")  # REAP record phase
+>>> fast = testbed.invoke("helloworld")     # REAP prefetch phase
+>>> round(cold.latency_ms / fast.latency_ms)  # ~4x
+4
+"""
+
+from repro.bench.harness import Testbed
+from repro.core import ReapManager, ReapParameters
+from repro.functions import (
+    FUNCTIONBENCH,
+    FunctionBehavior,
+    FunctionProfile,
+    catalog_names,
+    get_profile,
+)
+from repro.orchestrator import Autoscaler, Cluster, Orchestrator
+from repro.sim import Environment
+from repro.vm import HostParameters, WorkerHost
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Testbed",
+    "Environment",
+    "WorkerHost",
+    "HostParameters",
+    "Orchestrator",
+    "Autoscaler",
+    "Cluster",
+    "ReapManager",
+    "ReapParameters",
+    "FunctionProfile",
+    "FunctionBehavior",
+    "FUNCTIONBENCH",
+    "get_profile",
+    "catalog_names",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""§4 characterization toolkit: breakdowns, contiguity, footprints, reuse.
+
+These helpers turn raw invocation results and guest traces into the
+aggregates the paper's figures plot, and render them as plain-text
+tables for the benchmark reports.
+"""
+
+from repro.analysis.aggregate import (
+    BreakdownSummary,
+    average_breakdowns,
+    geometric_mean,
+)
+from repro.analysis.report import comparison_table, format_table
+
+__all__ = [
+    "BreakdownSummary",
+    "average_breakdowns",
+    "geometric_mean",
+    "format_table",
+    "comparison_table",
+]

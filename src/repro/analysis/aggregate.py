@@ -1,0 +1,78 @@
+"""Aggregation of invocation breakdowns (the paper averages 10 runs)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.context import LatencyBreakdown
+
+
+@dataclass(frozen=True)
+class BreakdownSummary:
+    """Mean latency components over repeated invocations, in ms."""
+
+    policy: str
+    function: str
+    samples: int
+    total_ms: float
+    load_vmm_ms: float
+    fetch_ws_ms: float
+    install_ws_ms: float
+    connection_ms: float
+    processing_ms: float
+    finalize_ms: float
+    demand_faults: float
+    major_faults: float
+
+    def as_row(self) -> dict[str, float | str | int]:
+        """Row form for report tables."""
+        return {
+            "function": self.function,
+            "policy": self.policy,
+            "total_ms": round(self.total_ms, 1),
+            "load_vmm_ms": round(self.load_vmm_ms, 1),
+            "fetch_ws_ms": round(self.fetch_ws_ms, 1),
+            "install_ws_ms": round(self.install_ws_ms, 1),
+            "connection_ms": round(self.connection_ms, 1),
+            "processing_ms": round(self.processing_ms, 1),
+            "finalize_ms": round(self.finalize_ms, 1),
+            "demand_faults": round(self.demand_faults, 1),
+        }
+
+
+def average_breakdowns(breakdowns: Sequence[LatencyBreakdown],
+                       ) -> BreakdownSummary:
+    """Average a set of breakdowns from repeated invocations."""
+    if not breakdowns:
+        raise ValueError("no breakdowns to average")
+    count = len(breakdowns)
+
+    def mean(attr: str) -> float:
+        return sum(getattr(b, attr) for b in breakdowns) / count
+
+    return BreakdownSummary(
+        policy=breakdowns[0].policy,
+        function=breakdowns[0].function,
+        samples=count,
+        total_ms=mean("total_us") / 1000.0,
+        load_vmm_ms=mean("load_vmm_us") / 1000.0,
+        fetch_ws_ms=mean("fetch_ws_us") / 1000.0,
+        install_ws_ms=mean("install_ws_us") / 1000.0,
+        connection_ms=mean("connection_us") / 1000.0,
+        processing_ms=mean("processing_us") / 1000.0,
+        finalize_ms=mean("finalize_us") / 1000.0,
+        demand_faults=mean("demand_faults"),
+        major_faults=mean("major_faults"),
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's 3.7x average speedup is geometric)."""
+    values = list(values)
+    if not values:
+        raise ValueError("no values")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+Row = Mapping[str, Any]
+
+
+def format_table(rows: Sequence[Row], title: str = "") -> str:
+    """Render rows (dicts sharing keys) as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(cell.rjust(widths[col]) if _numeric(cell)
+                               else cell.ljust(widths[col])
+                               for cell, col in zip(cells, columns)))
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def comparison_table(measured: Mapping[str, float],
+                     paper: Mapping[str, float],
+                     value_label: str = "ms") -> list[dict[str, Any]]:
+    """Rows comparing measured values against the paper's, with deviation."""
+    rows: list[dict[str, Any]] = []
+    for key, paper_value in paper.items():
+        got = measured.get(key)
+        row: dict[str, Any] = {"item": key,
+                               f"paper_{value_label}": paper_value}
+        if got is None:
+            row[f"measured_{value_label}"] = "n/a"
+            row["deviation"] = "n/a"
+        else:
+            row[f"measured_{value_label}"] = round(got, 2)
+            if paper_value:
+                row["deviation"] = f"{(got - paper_value) / paper_value:+.1%}"
+            else:
+                row["deviation"] = "n/a"
+        rows.append(row)
+    return rows

@@ -1,0 +1,38 @@
+"""CLI for the experiment harness: ``python -m repro.bench <experiment>``.
+
+Run ``python -m repro.bench list`` to see all experiment ids, or
+``python -m repro.bench all`` to regenerate every table and figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        help="experiment id (see 'list'), 'all', or 'list'")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        result = run_experiment(name, seed=args.seed)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Experiment registry: one entry per paper table/figure (DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.experiments.characterization import (
+    fig2_cold_vs_warm,
+    fig3_contiguity,
+    fig4_footprints,
+    fig5_reuse,
+    table1_catalog,
+)
+from repro.bench.experiments.reap_eval import (
+    fallback_detection,
+    fig7_design_points,
+    fig8_reap_speedup,
+    mispredictions,
+    record_overhead,
+)
+from repro.bench.experiments.scale_eval import (
+    ablations,
+    fig9_scalability,
+    fio_microbench,
+    hdd_comparison,
+    remote_storage,
+    tail_latency,
+    warm_background,
+)
+from repro.bench.harness import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_catalog,
+    "fig2": fig2_cold_vs_warm,
+    "fig3": fig3_contiguity,
+    "fig4": fig4_footprints,
+    "fig5": fig5_reuse,
+    "fig7": fig7_design_points,
+    "fig8": fig8_reap_speedup,
+    "fig9": fig9_scalability,
+    "fio": fio_microbench,
+    "hdd": hdd_comparison,
+    "warm_background": warm_background,
+    "record_overhead": record_overhead,
+    "mispredictions": mispredictions,
+    "fallback": fallback_detection,
+    "ablations": ablations,
+    "remote_storage": remote_storage,
+    "tail_latency": tail_latency,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (e.g. ``fig8``)."""
+    try:
+        experiment = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") \
+            from None
+    return experiment(**kwargs)

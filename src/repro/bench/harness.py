@@ -1,0 +1,94 @@
+"""Experiment scaffolding: a ready-made testbed and result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Mapping
+
+from repro.analysis.report import format_table
+from repro.core.manager import ReapParameters
+from repro.functions.spec import FunctionProfile
+from repro.memory.guest import ContentMode
+from repro.orchestrator.orchestrator import InvocationResult, Orchestrator
+from repro.sim.engine import Environment
+from repro.vm.host import HostParameters, WorkerHost
+
+
+class Testbed:
+    """One simulated worker with an orchestrator, driven synchronously.
+
+    Mirrors the paper's evaluation platform (§6.1): a single server with
+    a local SSD (or HDD), containerd-style control plane, and the
+    vHive-CRI orchestrator in MicroManager mode.
+    """
+
+    #: Not a pytest test class, despite living near test helpers.
+    __test__ = False
+
+    def __init__(self, seed: int = 42, storage: str = "ssd",
+                 host_params: HostParameters | None = None,
+                 content: ContentMode = ContentMode.METADATA,
+                 reap_params: ReapParameters | None = None) -> None:
+        self.env = Environment()
+        self.host = WorkerHost(self.env, params=host_params, storage=storage,
+                               seed=seed)
+        self.orchestrator = Orchestrator(self.host, seed=seed,
+                                         content=content,
+                                         reap_params=reap_params)
+
+    def run(self, generator: Generator) -> Any:
+        """Drive a generator to completion on the event loop."""
+        process = self.env.process(generator)
+        return self.env.run(until=process)
+
+    def deploy(self, profile: FunctionProfile) -> None:
+        """Deploy (boot + snapshot) a function."""
+        self.run(self.orchestrator.deploy(profile))
+
+    def invoke(self, name: str, **kwargs) -> InvocationResult:
+        """Run one invocation synchronously."""
+        return self.run(self.orchestrator.invoke(name, **kwargs))
+
+    def invoke_many(self, name: str, count: int,
+                    **kwargs) -> list[InvocationResult]:
+        """Run ``count`` sequential invocations."""
+        return [self.invoke(name, **kwargs) for _ in range(count)]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure experiment."""
+
+    experiment: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    #: Scalar findings (geomeans, ranges) for assertions and summaries.
+    metrics: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows))
+        if self.metrics:
+            metric_rows = [{"metric": key, "value": round(value, 4)}
+                           for key, value in self.metrics.items()]
+            parts.append(format_table(metric_rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+def metrics_within(result: ExperimentResult,
+                   bounds: Mapping[str, tuple[float, float]]) -> list[str]:
+    """Check metrics against (low, high) bounds; returns violations."""
+    violations = []
+    for key, (low, high) in bounds.items():
+        value = result.metrics.get(key)
+        if value is None:
+            violations.append(f"metric {key!r} missing")
+        elif not low <= value <= high:
+            violations.append(
+                f"metric {key!r}={value:.4f} outside [{low}, {high}]")
+    return violations

@@ -1,0 +1,73 @@
+"""Latency breakdown of one invocation (the paper's Fig. 2/7/8 bars)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.units import MS
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-invocation latency components and fault counters.
+
+    All times in microseconds of simulated time.  The components mirror
+    the paper's stacked bars: *Load VMM*, *Connection restoration* and
+    *Function processing* for Fig. 2/8, plus *Fetch working set* /
+    *Install working set* for the Fig. 7 design-point comparison and the
+    record phase's one-time finalization cost (§6.4).
+    """
+
+    policy: str = ""
+    function: str = ""
+    invocation: int = 0
+
+    load_vmm_us: float = 0.0
+    fetch_ws_us: float = 0.0
+    install_ws_us: float = 0.0
+    connection_us: float = 0.0
+    processing_us: float = 0.0
+    finalize_us: float = 0.0
+
+    #: Faults served on the invocation's critical path.
+    demand_faults: int = 0
+    #: Demand faults that needed device I/O.
+    major_faults: int = 0
+    #: Demand faults resolved as fresh zero pages.
+    zero_faults: int = 0
+    #: Pages eagerly installed before resume (prefetch policies).
+    prefetched_pages: int = 0
+    #: Prefetched pages the invocation never touched (§7.1 mispredictions).
+    unused_prefetched: int = 0
+
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end cold-start delay (sum of all components)."""
+        return (self.load_vmm_us + self.fetch_ws_us + self.install_ws_us
+                + self.connection_us + self.processing_us + self.finalize_us)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end delay in milliseconds."""
+        return self.total_us / MS
+
+    def component_ms(self) -> dict[str, float]:
+        """The stacked-bar components in milliseconds."""
+        return {
+            "load_vmm": self.load_vmm_us / MS,
+            "fetch_ws": self.fetch_ws_us / MS,
+            "install_ws": self.install_ws_us / MS,
+            "connection": self.connection_us / MS,
+            "processing": self.processing_us / MS,
+            "finalize": self.finalize_us / MS,
+        }
+
+    def merge_counters(self, other: "LatencyBreakdown") -> None:
+        """Accumulate fault counters from another breakdown (averaging aid)."""
+        self.demand_faults += other.demand_faults
+        self.major_faults += other.major_faults
+        self.zero_faults += other.zero_faults
+        self.prefetched_pages += other.prefetched_pages
+        self.unused_prefetched += other.unused_prefetched

@@ -1,0 +1,131 @@
+"""Per-function REAP bookkeeping: mode selection and fallback (§7.2).
+
+The vHive-CRI orchestrator consults a :class:`ReapManager` on every cold
+invocation: without recorded artifacts the function runs in *record*
+mode; with them it runs in *prefetch* mode.  After each prefetch
+invocation the manager compares the demand faults that hit inside the
+recorded working set against the prefetched page count.  A recording
+that keeps mispredicting (the paper's pathological "first invocation is
+not representative" case) is either re-recorded or the function falls
+back to vanilla snapshots, exactly as §7.2 prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.context import LatencyBreakdown
+from repro.core.files import ReapArtifacts
+from repro.core.policies import RestorePolicy, make_policy
+from repro.vm.host import WorkerHost
+from repro.vm.snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class ReapParameters:
+    """Tunables of the REAP manager."""
+
+    #: Goroutines used by the parallel_pf design point.
+    parallel_workers: int = 16
+    #: A prefetch invocation whose in-working-set demand faults exceed
+    #: this fraction of the prefetched pages counts as mispredicted.
+    mispredict_threshold: float = 0.25
+    #: After this many consecutive mispredicted invocations, act.
+    mispredict_streak_limit: int = 2
+    #: Action on a bad streak: re-record once, then fall back to vanilla.
+    max_re_records: int = 1
+
+
+@dataclass
+class FunctionReapState:
+    """Mutable REAP state of one function."""
+
+    artifacts: Optional[ReapArtifacts] = None
+    records_done: int = 0
+    re_records: int = 0
+    mispredict_streak: int = 0
+    fallback_to_vanilla: bool = False
+    prefetch_invocations: int = 0
+    history: list[str] = field(default_factory=list)
+
+
+class ReapManager:
+    """Chooses and updates the restore mode for every function."""
+
+    def __init__(self, host: WorkerHost,
+                 params: ReapParameters | None = None) -> None:
+        self.host = host
+        self.params = params or ReapParameters()
+        self._states: dict[str, FunctionReapState] = {}
+
+    def state_for(self, function_name: str) -> FunctionReapState:
+        """The (possibly fresh) state of a function."""
+        return self._states.setdefault(function_name, FunctionReapState())
+
+    def mode_for(self, function_name: str) -> str:
+        """Which policy the next cold invocation of the function uses."""
+        state = self.state_for(function_name)
+        if state.fallback_to_vanilla:
+            return "vanilla"
+        if state.artifacts is None:
+            return "record"
+        return "reap"
+
+    def policy_for(self, snapshot: Snapshot,
+                   breakdown: LatencyBreakdown,
+                   mode: str | None = None) -> RestorePolicy:
+        """Build the policy for a cold invocation.
+
+        ``mode`` overrides automatic selection (used by the design-point
+        benchmarks to force ``parallel_pf``/``ws_file``/``vanilla``).
+        """
+        state = self.state_for(snapshot.function_name)
+        selected = mode or self.mode_for(snapshot.function_name)
+        kwargs = {}
+        if selected == "parallel_pf":
+            kwargs["workers"] = self.params.parallel_workers
+        artifacts = state.artifacts
+        if selected in ("reap", "ws_file", "parallel_pf") and artifacts is None:
+            raise RuntimeError(
+                f"{snapshot.function_name}: no recorded artifacts for "
+                f"policy {selected!r}")
+        if selected in ("vanilla", "record"):
+            artifacts = None
+        return make_policy(selected, self.host, snapshot, breakdown,
+                           artifacts=artifacts, **kwargs)
+
+    def complete(self, function_name: str, policy: RestorePolicy) -> None:
+        """Feed one finished cold invocation back into the state machine."""
+        state = self.state_for(function_name)
+        state.history.append(policy.name)
+        if policy.name == "record":
+            if policy.artifacts is None:
+                raise RuntimeError("record policy finished without artifacts")
+            state.artifacts = policy.artifacts
+            state.records_done += 1
+            state.mispredict_streak = 0
+            return
+        if policy.name not in ("reap", "ws_file", "parallel_pf"):
+            return
+        state.prefetch_invocations += 1
+        monitor = getattr(policy, "monitor", None)
+        if monitor is None:
+            return
+        # §7.2: compare the demand faults taken *after* the working set
+        # was installed against the number of installed pages.
+        prefetched = max(policy.breakdown.prefetched_pages, 1)
+        miss_ratio = monitor.demand_faults / prefetched
+        if miss_ratio > self.params.mispredict_threshold:
+            state.mispredict_streak += 1
+        else:
+            state.mispredict_streak = 0
+        if state.mispredict_streak >= self.params.mispredict_streak_limit:
+            state.mispredict_streak = 0
+            if state.re_records < self.params.max_re_records:
+                # §7.2: repeat the record phase.
+                state.re_records += 1
+                state.artifacts = None
+            else:
+                # §7.2: fall back to vanilla snapshots.
+                state.fallback_to_vanilla = True

@@ -1,0 +1,314 @@
+"""Restore policies: vanilla snapshots, REAP, and the Fig. 7 design points.
+
+A policy owns everything between "VMM state is loaded" and "instance
+stopped": how guest memory is (or is not) populated before resume, how
+demand faults are served during execution, and what artifacts are
+produced afterwards.  The five policies map to the paper as:
+
+==============  ==========================================================
+``vanilla``     Baseline Firecracker snapshots: kernel lazy paging from
+                the memory file, one fault at a time (§2.3, Fig. 7 bar 1)
+``record``      REAP's first invocation: userfaultfd monitor serves
+                faults and records the trace + WS files (§5.2.1)
+``parallel_pf``  Design point: trace-driven *parallel* page-sized reads,
+                no WS file (Fig. 7 bar 2)
+``ws_file``     Design point: single *buffered* read of the WS file
+                (through the page cache; Fig. 7 bar 3)
+``reap``        Full REAP: single O_DIRECT read of the WS file + eager
+                batch install; only unique pages demand-fault
+                (§5.2.2-5.2.3, Fig. 7 bar 4)
+==============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from collections import deque
+from typing import Any, Generator, Optional
+
+from repro.core.context import LatencyBreakdown
+from repro.core.files import ReapArtifacts, TraceFile
+from repro.core.monitor import PrefetchMonitor, RecordMonitor, UffdMonitor
+from repro.memory.guest import BackingMode, ContentMode
+from repro.memory.uffd import UserFaultFd
+from repro.sim.engine import Event
+from repro.sim.units import PAGE_SIZE
+from repro.storage.device import ReadKind
+from repro.vm.host import WorkerHost
+from repro.vm.microvm import MicroVM
+from repro.vm.snapshot import Snapshot
+from repro.vm.vcpu import FaultHandler
+
+_policy_ids = itertools.count()
+
+
+class RestorePolicy(abc.ABC):
+    """Strategy for populating a restored instance's guest memory."""
+
+    name: str = "abstract"
+    backing: BackingMode = BackingMode.FILE_LAZY
+
+    def __init__(self, host: WorkerHost, snapshot: Snapshot,
+                 breakdown: LatencyBreakdown,
+                 artifacts: Optional[ReapArtifacts] = None) -> None:
+        self.host = host
+        self.snapshot = snapshot
+        self.breakdown = breakdown
+        self.artifacts = artifacts
+        self.policy_id = next(_policy_ids)
+        breakdown.policy = self.name
+
+    def attach(self, vm: MicroVM) -> None:
+        """Bind to a freshly instantiated VM (register uffd, start monitor)."""
+
+    def prepare(self, vm: MicroVM) -> Generator[Event, Any, None]:
+        """Eagerly populate memory before resume (prefetch policies)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    @abc.abstractmethod
+    def fault_handler(self, vm: MicroVM) -> Optional[FaultHandler]:
+        """The vCPU's handler for missing pages during execution."""
+
+    def finish(self, vm: MicroVM) -> Generator[Event, Any,
+                                               Optional[ReapArtifacts]]:
+        """Post-invocation work (stop monitors, write record artifacts)."""
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+
+class VanillaPolicy(RestorePolicy):
+    """Baseline: the host kernel lazily pages the memory file in."""
+
+    name = "vanilla"
+    backing = BackingMode.FILE_LAZY
+
+    def fault_handler(self, vm: MicroVM) -> FaultHandler:
+        page_cache = self.host.page_cache
+        memory_file = vm.memory.backing_file
+        breakdown = self.breakdown
+
+        fault_cpu_us = self.snapshot.profile.fault_cpu_us
+        env = self.host.env
+
+        def handler(page: int) -> Generator[Event, Any, None]:
+            breakdown.demand_faults += 1
+            was_major = yield from page_cache.fault_in(memory_file, page)
+            if was_major:
+                breakdown.major_faults += 1
+                if fault_cpu_us > 0.0:
+                    yield env.timeout(fault_cpu_us)
+            elif not memory_file.has_block(page):
+                breakdown.zero_faults += 1
+            vm.memory.install(page)
+
+        return handler
+
+
+class _UffdPolicy(RestorePolicy):
+    """Shared plumbing for every userfaultfd-based policy."""
+
+    backing = BackingMode.UFFD
+
+    def __init__(self, host: WorkerHost, snapshot: Snapshot,
+                 breakdown: LatencyBreakdown,
+                 artifacts: Optional[ReapArtifacts] = None) -> None:
+        super().__init__(host, snapshot, breakdown, artifacts)
+        self.uffd: Optional[UserFaultFd] = None
+        self.monitor: Optional[UffdMonitor] = None
+
+    def attach(self, vm: MicroVM) -> None:
+        self.uffd = UserFaultFd(self.host.env, vm.memory)
+        self.monitor = self._make_monitor(vm)
+        self.monitor.start()
+
+    @abc.abstractmethod
+    def _make_monitor(self, vm: MicroVM) -> UffdMonitor:
+        """Build the mode-specific monitor goroutine."""
+
+    def fault_handler(self, vm: MicroVM) -> FaultHandler:
+        if self.uffd is None:
+            raise RuntimeError(f"{self.name}: attach() not called")
+        uffd = self.uffd
+
+        def handler(page: int) -> Generator[Event, Any, None]:
+            wake = uffd.raise_fault(page)
+            yield wake
+
+        return handler
+
+    def finish(self, vm: MicroVM) -> Generator[Event, Any,
+                                               Optional[ReapArtifacts]]:
+        if self.monitor is not None:
+            self.monitor.stop()
+            self.breakdown.demand_faults += self.monitor.demand_faults
+            self.breakdown.major_faults += self.monitor.major_faults
+            self.breakdown.zero_faults += self.monitor.zero_faults
+        return None
+        yield  # pragma: no cover
+
+    def _artifact_prefix(self, vm: MicroVM) -> str:
+        return (f"reap/{self.snapshot.function_name}"
+                f"/e{self.snapshot.epoch}-p{self.policy_id}")
+
+
+class RecordPolicy(_UffdPolicy):
+    """REAP record mode: serve every fault in userspace, capture the trace."""
+
+    name = "record"
+
+    def _make_monitor(self, vm: MicroVM) -> UffdMonitor:
+        return RecordMonitor(self.host, self.uffd, vm.memory.backing_file,
+                             artifact_prefix=self._artifact_prefix(vm),
+                             name=f"record:{vm.name}",
+                             extra_fault_us=self.snapshot.profile.fault_cpu_us)
+
+    def finish(self, vm: MicroVM) -> Generator[Event, Any,
+                                               Optional[ReapArtifacts]]:
+        monitor = self.monitor
+        if monitor is None:
+            raise RuntimeError("record policy finished without attach()")
+        monitor.stop()
+        artifacts = yield from monitor.finalize()
+        self.breakdown.demand_faults += monitor.demand_faults
+        self.breakdown.major_faults += monitor.major_faults
+        self.breakdown.zero_faults += monitor.zero_faults
+        self.artifacts = artifacts
+        return artifacts
+
+
+class ParallelPfPolicy(_UffdPolicy):
+    """Design point: parallel trace-driven page reads (no WS file)."""
+
+    name = "parallel_pf"
+
+    def __init__(self, host: WorkerHost, snapshot: Snapshot,
+                 breakdown: LatencyBreakdown,
+                 artifacts: Optional[ReapArtifacts] = None,
+                 workers: int = 16) -> None:
+        if artifacts is None:
+            raise ValueError("parallel_pf needs recorded artifacts")
+        super().__init__(host, snapshot, breakdown, artifacts)
+        self.workers = workers
+
+    def _make_monitor(self, vm: MicroVM) -> UffdMonitor:
+        return PrefetchMonitor(self.host, self.uffd,
+                               vm.memory.backing_file, self.artifacts,
+                               name=f"parallel-pf:{vm.name}",
+                               extra_fault_us=self.snapshot.profile.fault_cpu_us)
+
+    def prepare(self, vm: MicroVM) -> Generator[Event, Any, None]:
+        env = self.host.env
+        started = env.now
+        trace = yield from self._load_trace()
+        queue = deque(trace.pages)
+        memory_file = vm.memory.backing_file
+        params = self.host.params
+        full_content = vm.memory.content_mode is ContentMode.FULL
+
+        def worker() -> Generator[Event, Any, None]:
+            while queue:
+                page = queue.popleft()
+                if memory_file.has_block(page):
+                    data = yield from self.host.page_cache.read(
+                        memory_file, page * PAGE_SIZE, PAGE_SIZE,
+                        kind=ReadKind.READAHEAD)
+                    yield env.timeout(params.uffd_copy_us)
+                    self.uffd.copy(page, data if full_content else None)
+                else:
+                    yield env.timeout(params.uffd_zeropage_us)
+                    self.uffd.zeropage(page)
+
+        jobs = [env.process(worker(), name=f"pf-worker-{index}")
+                for index in range(self.workers)]
+        yield env.all_of(jobs)
+        self.breakdown.fetch_ws_us = env.now - started
+        self.breakdown.prefetched_pages = len(trace.pages)
+
+    def _load_trace(self) -> Generator[Event, Any, TraceFile]:
+        trace_file = self.artifacts.trace.file
+        yield from self.host.page_cache.read(
+            trace_file, 0, self.artifacts.trace.serialized_size)
+        return TraceFile.load(trace_file)
+
+
+class WsFilePolicy(_UffdPolicy):
+    """Design point: one *buffered* WS-file read, then eager install."""
+
+    name = "ws_file"
+    direct_io = False
+
+    def __init__(self, host: WorkerHost, snapshot: Snapshot,
+                 breakdown: LatencyBreakdown,
+                 artifacts: Optional[ReapArtifacts] = None) -> None:
+        if artifacts is None:
+            raise ValueError(f"{self.name} needs recorded artifacts")
+        super().__init__(host, snapshot, breakdown, artifacts)
+
+    def _make_monitor(self, vm: MicroVM) -> UffdMonitor:
+        return PrefetchMonitor(self.host, self.uffd,
+                               vm.memory.backing_file, self.artifacts,
+                               name=f"{self.name}:{vm.name}",
+                               extra_fault_us=self.snapshot.profile.fault_cpu_us)
+
+    def prepare(self, vm: MicroVM) -> Generator[Event, Any, None]:
+        env = self.host.env
+        artifacts = self.artifacts
+        # Fetch phase: trace (tiny) + the whole WS file in one read.
+        started = env.now
+        trace = yield from self._load_trace()
+        yield from self.host.page_cache.read(
+            artifacts.working_set.file, 0,
+            artifacts.working_set.payload_bytes, direct=self.direct_io)
+        self.breakdown.fetch_ws_us = env.now - started
+        # Install phase: one ioctl per contiguous run + the memcpy.
+        started = env.now
+        install_us = self.host.install_batch_us(
+            artifacts.working_set.run_count,
+            artifacts.working_set.payload_bytes)
+        yield env.timeout(install_us)
+        if vm.memory.content_mode is ContentMode.FULL:
+            data = [artifacts.working_set.page_content(slot)
+                    for slot in range(len(trace.pages))]
+        else:
+            data = None
+        self.uffd.copy_batch(list(trace.pages), data)
+        self.breakdown.install_ws_us = env.now - started
+        self.breakdown.prefetched_pages = len(trace.pages)
+
+    def _load_trace(self) -> Generator[Event, Any, TraceFile]:
+        trace_file = self.artifacts.trace.file
+        yield from self.host.page_cache.read(
+            trace_file, 0, self.artifacts.trace.serialized_size)
+        return TraceFile.load(trace_file)
+
+
+class ReapPolicy(WsFilePolicy):
+    """Full REAP: O_DIRECT WS fetch + eager install (§5.2.2-5.2.3)."""
+
+    name = "reap"
+    direct_io = True
+
+
+POLICIES: dict[str, type[RestorePolicy]] = {
+    policy.name: policy
+    for policy in (VanillaPolicy, RecordPolicy, ParallelPfPolicy,
+                   WsFilePolicy, ReapPolicy)
+}
+
+
+def make_policy(name: str, host: WorkerHost, snapshot: Snapshot,
+                breakdown: LatencyBreakdown,
+                artifacts: Optional[ReapArtifacts] = None,
+                **kwargs) -> RestorePolicy:
+    """Instantiate a policy by name."""
+    try:
+        policy_cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    if policy_cls is VanillaPolicy or policy_cls is RecordPolicy:
+        return policy_cls(host, snapshot, breakdown, artifacts, **kwargs)
+    return policy_cls(host, snapshot, breakdown, artifacts=artifacts,
+                      **kwargs)

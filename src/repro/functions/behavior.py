@@ -1,0 +1,222 @@
+"""Working-set layouts and per-invocation access traces.
+
+This module turns a :class:`FunctionProfile` into the concrete
+guest-physical structure the paper measures:
+
+* a **stable layout** -- scattered contiguous runs (mean length =
+  ``contiguity_mean``, Fig. 3) inside the booted footprint, identical
+  across invocations (§4.4: the guest buddy allocator makes the same
+  decisions when started from the same snapshot);
+* **per-invocation unique pages** -- input-dependent allocations; a
+  configurable fraction land beyond the booted footprint (fresh
+  zero-fill pages), the rest inside it (reused allocator regions whose
+  snapshot content must be read from disk on fault);
+* the **record/replay divergence** of video_processing (§6.3): the first
+  invocation's processing working set differs from later ones, so a
+  REAP trace recorded on invocation 0 mispredicts invocations >= 1.
+
+Layouts are deterministic in ``(profile, seed, epoch)``; traces
+additionally in the invocation index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.functions.spec import FunctionProfile
+from repro.memory.trace import AccessTrace
+from repro.sim.rng import RandomStream
+from repro.sim.units import MS
+
+
+@dataclass(frozen=True)
+class WorkingSetLayout:
+    """The stable (cross-invocation) part of a function's working set."""
+
+    connection_runs: tuple[tuple[int, ...], ...]
+    processing_runs: tuple[tuple[int, ...], ...]
+    #: Alternate processing runs used only by the record invocation when
+    #: the profile declares record/replay divergence.
+    record_processing_runs: tuple[tuple[int, ...], ...]
+
+    @property
+    def connection_pages(self) -> tuple[int, ...]:
+        return tuple(page for run in self.connection_runs for page in run)
+
+    @property
+    def processing_pages(self) -> tuple[int, ...]:
+        return tuple(page for run in self.processing_runs for page in run)
+
+    @property
+    def stable_page_set(self) -> frozenset[int]:
+        return frozenset(self.connection_pages) | frozenset(
+            self.processing_pages)
+
+
+class FunctionBehavior:
+    """Generator of access traces for one function + snapshot epoch."""
+
+    def __init__(self, profile: FunctionProfile, seed: int = 42,
+                 epoch: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.epoch = epoch
+        self._stream = RandomStream(seed, "behavior", profile.name, epoch)
+        self._occupied: set[int] = set()
+        self.layout = self._build_layout()
+
+    # -- layout construction ----------------------------------------------
+
+    def _build_layout(self) -> WorkingSetLayout:
+        profile = self.profile
+        boot_pages = profile.boot_footprint_pages
+        conn_runs = self._draw_runs(
+            self._stream.child("conn"), profile.connection_pages,
+            profile.contiguity_mean, 0, boot_pages)
+        proc_runs = self._draw_runs(
+            self._stream.child("proc"), profile.processing_pages,
+            profile.contiguity_mean, 0, boot_pages)
+        record_runs = proc_runs
+        if profile.record_divergence > 0.0:
+            record_runs = self._diverge_runs(proc_runs)
+        return WorkingSetLayout(
+            connection_runs=tuple(tuple(run) for run in conn_runs),
+            processing_runs=tuple(tuple(run) for run in proc_runs),
+            record_processing_runs=tuple(tuple(run) for run in record_runs),
+        )
+
+    def _diverge_runs(self,
+                      runs: list[list[int]]) -> list[list[int]]:
+        """Swap a fraction of processing runs for alternates (record phase)."""
+        stream = self._stream.child("divergence")
+        divergent_target = int(self.profile.record_divergence
+                               * self.profile.processing_pages)
+        swapped_pages = 0
+        result: list[list[int]] = []
+        order = list(range(len(runs)))
+        stream.shuffle(order)
+        to_swap = set()
+        for index in order:
+            if swapped_pages >= divergent_target:
+                break
+            to_swap.add(index)
+            swapped_pages += len(runs[index])
+        for index, run in enumerate(runs):
+            if index in to_swap:
+                replacement = self._draw_runs(
+                    stream.child("alt", index), len(run),
+                    self.profile.contiguity_mean, 0,
+                    self.profile.boot_footprint_pages)
+                result.extend(replacement)
+            else:
+                result.append(run)
+        return result
+
+    def _draw_runs(self, stream: RandomStream, total_pages: int,
+                   mean_length: float, low: int, high: int,
+                   occupied: set[int] | None = None) -> list[list[int]]:
+        """Place ``total_pages`` as non-overlapping contiguous runs."""
+        if occupied is None:
+            occupied = self._occupied
+        runs: list[list[int]] = []
+        remaining = total_pages
+        while remaining > 0:
+            length = min(stream.geometric(mean_length), remaining)
+            run = None
+            while run is None:
+                run = self._place_run(stream, length, low, high, occupied)
+                if run is None:
+                    # Dense region: free space is fragmented into gaps
+                    # shorter than the drawn run; degrade gracefully.
+                    if length == 1:
+                        raise ValueError(
+                            f"region [{low}, {high}) has no free page for "
+                            f"the working set")
+                    length = max(1, length // 2)
+            occupied.update(run)
+            runs.append(run)
+            remaining -= len(run)
+        return runs
+
+    @staticmethod
+    def _place_run(stream: RandomStream, length: int, low: int, high: int,
+                   occupied: set[int]) -> list[int] | None:
+        """Place one run, or return ``None`` if no gap fits it."""
+        span = high - low - length
+        if span < 0:
+            return None
+        for _attempt in range(64):
+            start = low + stream.randint(0, span)
+            candidate = range(start, start + length)
+            if all(page not in occupied for page in candidate):
+                return list(candidate)
+        # Dense region: fall back to a linear sweep from a random point.
+        start = low + stream.randint(0, span)
+        for base in list(range(start, high - length + 1)) \
+                + list(range(low, start)):
+            candidate = range(base, base + length)
+            if all(page not in occupied for page in candidate):
+                return list(candidate)
+        return None
+
+    # -- per-invocation traces ----------------------------------------------
+
+    def trace_for(self, invocation: int, record: bool = False) -> AccessTrace:
+        """Build the first-touch trace of invocation ``invocation``.
+
+        ``record=True`` marks the invocation REAP records; with non-zero
+        ``record_divergence`` its stable processing set differs from the
+        one every ordinary invocation touches (the §6.3 video_processing
+        effect, where the recorded input is unrepresentative).
+        """
+        profile = self.profile
+        stream = self._stream.child("invocation", invocation)
+        conn_runs = [list(run) for run in self.layout.connection_runs]
+        stream.child("conn-order").shuffle(conn_runs)
+        if record:
+            stable_runs = [list(run)
+                           for run in self.layout.record_processing_runs]
+        else:
+            stable_runs = [list(run) for run in self.layout.processing_runs]
+        unique_runs = self._draw_unique_runs(stream.child("unique"))
+        merged = stable_runs + unique_runs
+        stream.child("proc-order").shuffle(merged)
+        connection_pages = tuple(page for run in conn_runs for page in run)
+        processing_pages = tuple(page for run in merged for page in run)
+        return AccessTrace(
+            connection_pages=connection_pages,
+            processing_pages=processing_pages,
+            connection_compute_us=profile.connection_warm_ms * MS,
+            processing_compute_us=profile.warm_ms * MS,
+            label=f"{profile.name}#{invocation}",
+        )
+
+    def _draw_unique_runs(self, stream: RandomStream) -> list[list[int]]:
+        profile = self.profile
+        zero_count = int(profile.unique_pages * profile.unique_zero_fraction)
+        inside_count = profile.unique_pages - zero_count
+        # Unique pages are drawn per invocation; they avoid the stable set
+        # (tracked in self._occupied) but different invocations may reuse
+        # each other's locations, exactly like a real allocator would.
+        local_occupied = set(self._occupied)
+        runs = self._draw_runs(
+            stream.child("inside"), inside_count,
+            profile.unique_contiguity_mean, 0,
+            profile.boot_footprint_pages, occupied=local_occupied)
+        if zero_count > 0:
+            runs += self._draw_runs(
+                stream.child("zero"), zero_count,
+                profile.unique_contiguity_mean,
+                profile.boot_footprint_pages, profile.vm_pages,
+                occupied=local_occupied)
+        return runs
+
+    # -- helpers for boot and analysis ---------------------------------------
+
+    def boot_pages(self) -> range:
+        """Pages resident after a full boot (the Fig. 4 blue footprint)."""
+        return range(self.profile.boot_footprint_pages)
+
+    def zero_page_boundary(self) -> int:
+        """First guest page never written by boot (sparse in the snapshot)."""
+        return self.profile.boot_footprint_pages

@@ -1,0 +1,31 @@
+"""Deterministic guest-page contents.
+
+In full-content mode, every guest page of a booted function instance
+carries bytes derived from ``(function, epoch, page)``.  The derivation
+is stable, so the same page always has the same contents wherever it
+flows -- boot -> snapshot memory file -> REAP working-set file -> restored
+guest memory -- and any corruption along a restore path is caught by the
+integrity checks in :mod:`repro.memory.guest`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.units import PAGE_SIZE
+
+
+def page_bytes(function_name: str, epoch: int, page: int,
+               size: int = PAGE_SIZE) -> bytes:
+    """Deterministic contents of one guest page."""
+    seed = f"{function_name}/{epoch}/{page}".encode()
+    digest = hashlib.sha256(seed).digest()
+    repeats = (size + len(digest) - 1) // len(digest)
+    return (digest * repeats)[:size]
+
+
+def make_filler(function_name: str, epoch: int):
+    """A ``filler(page) -> bytes`` closure for :meth:`GuestMemory.populate`."""
+    def filler(page: int) -> bytes:
+        return page_bytes(function_name, epoch, page)
+    return filler

@@ -1,0 +1,43 @@
+"""Guest-memory substrate: regions, page faults, userfaultfd, traces.
+
+This package models the memory side of snapshot restoration:
+
+* :class:`GuestMemory` -- a MicroVM's guest-physical memory with per-page
+  presence and (optionally) real content, backed either anonymously
+  (booted VM), by a lazily-paged snapshot file (vanilla Firecracker
+  restore), or by a userfaultfd registration (REAP);
+* :class:`UserFaultFd` -- the Linux ``userfaultfd(2)`` mechanism as seen
+  by a userspace monitor: an event queue of page faults plus
+  ``UFFDIO_COPY``-style install/wake operations (§5.2);
+* :class:`AccessTrace` -- the ordered first-touch page sequence of one
+  invocation, split into the connection-restoration and processing
+  phases;
+* :mod:`repro.memory.working_set` -- the §4 analysis toolkit: contiguity
+  of faulted pages (Fig. 3), footprints (Fig. 4) and cross-invocation
+  reuse (Fig. 5).
+"""
+
+from repro.memory.guest import BackingMode, ContentMode, GuestMemory
+from repro.memory.trace import AccessPhase, AccessTrace
+from repro.memory.uffd import PageFaultEvent, UffdError, UserFaultFd
+from repro.memory.working_set import (
+    contiguous_runs,
+    mean_run_length,
+    pages_to_mb,
+    reuse_between,
+)
+
+__all__ = [
+    "BackingMode",
+    "ContentMode",
+    "GuestMemory",
+    "UserFaultFd",
+    "PageFaultEvent",
+    "UffdError",
+    "AccessTrace",
+    "AccessPhase",
+    "contiguous_runs",
+    "mean_run_length",
+    "reuse_between",
+    "pages_to_mb",
+]

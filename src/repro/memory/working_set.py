@@ -1,0 +1,111 @@
+"""Working-set analysis: contiguity, footprint, cross-invocation reuse.
+
+These are the measurement tools behind the paper's §4 characterization:
+
+* :func:`contiguous_runs` / :func:`mean_run_length` -- the spatial
+  contiguity of a faulted page set (Fig. 3: 2-3 pages on average, which
+  is why the host's disk readahead barely helps);
+* :func:`pages_to_mb` -- footprint reporting (Fig. 4);
+* :func:`reuse_between` -- pages shared between invocations with
+  different inputs (Fig. 5: >=97 % identical for 7 of 10 functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sim.units import PAGE_SIZE
+
+
+def contiguous_runs(page_set: Iterable[int]) -> list[tuple[int, int]]:
+    """Split a set of pages into maximal contiguous ``(start, length)`` runs.
+
+    Order-insensitive: contiguity here is *spatial* (adjacent
+    guest-physical page numbers), matching how the paper measures the
+    layout of faulted pages in the guest memory file.
+    """
+    pages = sorted(set(page_set))
+    if not pages:
+        return []
+    runs: list[tuple[int, int]] = []
+    start = previous = pages[0]
+    for page in pages[1:]:
+        if page == previous + 1:
+            previous = page
+            continue
+        runs.append((start, previous - start + 1))
+        start = previous = page
+    runs.append((start, previous - start + 1))
+    return runs
+
+
+def mean_run_length(page_set: Iterable[int]) -> float:
+    """Average contiguous-run length of a page set (Fig. 3 metric)."""
+    runs = contiguous_runs(page_set)
+    if not runs:
+        return 0.0
+    return sum(length for _start, length in runs) / len(runs)
+
+
+def run_length_histogram(page_set: Iterable[int],
+                         max_bucket: int = 16) -> dict[int, int]:
+    """Histogram of run lengths; lengths above ``max_bucket`` clamp."""
+    histogram: dict[int, int] = {}
+    for _start, length in contiguous_runs(page_set):
+        bucket = min(length, max_bucket)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return histogram
+
+
+def pages_to_mb(n_pages: int) -> float:
+    """Convert a page count to megabytes (10^6 bytes, as the paper plots)."""
+    return n_pages * PAGE_SIZE / 1e6
+
+
+@dataclass(frozen=True)
+class ReuseStats:
+    """Cross-invocation page reuse between two working sets (Fig. 5)."""
+
+    same_pages: int
+    unique_pages: int
+
+    @property
+    def total_pages(self) -> int:
+        """Pages accessed by the second invocation."""
+        return self.same_pages + self.unique_pages
+
+    @property
+    def same_fraction(self) -> float:
+        """Fraction of the second invocation's pages shared with the first."""
+        if self.total_pages == 0:
+            return 0.0
+        return self.same_pages / self.total_pages
+
+    @property
+    def unique_fraction(self) -> float:
+        """Fraction of pages unique to the second invocation."""
+        return 1.0 - self.same_fraction if self.total_pages else 0.0
+
+
+def reuse_between(first: Iterable[int], second: Iterable[int]) -> ReuseStats:
+    """Compare the page sets of two invocations of the same function.
+
+    ``same`` counts pages of the *second* invocation already touched by
+    the first; ``unique`` counts pages newly introduced by the second --
+    the quantity REAP must serve as demand faults (§7.1).
+    """
+    first_set = set(first)
+    second_set = set(second)
+    same = len(second_set & first_set)
+    return ReuseStats(same_pages=same, unique_pages=len(second_set) - same)
+
+
+def stable_working_set(page_sets: Sequence[Iterable[int]]) -> frozenset[int]:
+    """Pages present in every one of several invocations' working sets."""
+    if not page_sets:
+        return frozenset()
+    stable = set(page_sets[0])
+    for pages in page_sets[1:]:
+        stable &= set(pages)
+    return frozenset(stable)

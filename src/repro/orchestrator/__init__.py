@@ -1,0 +1,41 @@
+"""The vHive-CRI orchestrator: control plane + data-plane router.
+
+Following the paper's single-worker methodology (§4.1), the orchestrator
+acts like AWS Lambda's MicroManager: it deploys functions (boot once,
+snapshot, stop), routes invocations over per-function gRPC connections,
+manages warm instances, and drives cold starts through the restore
+policies of :mod:`repro.core` while collecting the latency breakdowns
+the paper reports.
+
+The cluster-level components (Knative-style autoscaler, load balancer,
+multi-function workers) live in :mod:`repro.orchestrator.cluster` and
+:mod:`repro.orchestrator.autoscaler`.
+"""
+
+from repro.orchestrator.autoscaler import Autoscaler, AutoscalerParameters
+from repro.orchestrator.cluster import Cluster, LoadBalancer
+from repro.orchestrator.loadgen import (
+    LoadGenerator,
+    LoadStats,
+    TrafficSpec,
+)
+from repro.orchestrator.orchestrator import (
+    DeployedFunction,
+    InvocationResult,
+    Orchestrator,
+    WarmInstance,
+)
+
+__all__ = [
+    "Orchestrator",
+    "DeployedFunction",
+    "InvocationResult",
+    "WarmInstance",
+    "Autoscaler",
+    "AutoscalerParameters",
+    "Cluster",
+    "LoadBalancer",
+    "LoadGenerator",
+    "LoadStats",
+    "TrafficSpec",
+]

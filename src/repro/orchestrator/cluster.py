@@ -1,0 +1,126 @@
+"""Multi-worker cluster with an Istio-style front end (§3.2).
+
+A :class:`Cluster` holds several workers (each a
+:class:`~repro.vm.host.WorkerHost` + orchestrator + autoscaler) and a
+:class:`LoadBalancer` that plays the role of vHive's Istio ingress: it
+routes each invocation to a worker, preferring one that already holds a
+free warm instance of the function and otherwise spreading load.
+
+The paper's evaluation is single-worker (its distributed stack adds
+<30 ms, §4.1); the cluster layer exists so the framework covers the full
+vHive architecture and to host the multi-tenant example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.core.manager import ReapParameters
+from repro.functions.spec import FunctionProfile
+from repro.memory.guest import ContentMode
+from repro.orchestrator.autoscaler import Autoscaler, AutoscalerParameters
+from repro.orchestrator.orchestrator import Orchestrator
+from repro.sim.engine import Environment, Event
+from repro.sim.rng import derive_seed
+from repro.vm.host import HostParameters, WorkerHost
+
+
+@dataclass
+class Worker:
+    """One cluster worker: host + orchestrator + autoscaler."""
+
+    index: int
+    host: WorkerHost
+    orchestrator: Orchestrator
+    autoscaler: Autoscaler
+    outstanding: int = 0
+
+
+@dataclass
+class RouteStats:
+    """Front-end routing counters."""
+
+    routed: int = 0
+    warm_routed: int = 0
+    by_worker: dict[int, int] = field(default_factory=dict)
+
+
+class LoadBalancer:
+    """Warm-affinity, least-outstanding router."""
+
+    def __init__(self, workers: list[Worker]) -> None:
+        if not workers:
+            raise ValueError("load balancer needs at least one worker")
+        self.workers = workers
+        self.stats = RouteStats()
+
+    def pick(self, function_name: str) -> Worker:
+        """Choose the worker for one invocation of ``function_name``."""
+        self.stats.routed += 1
+        warm_candidates = []
+        for worker in self.workers:
+            try:
+                entry = worker.orchestrator.function(function_name)
+            except KeyError:
+                continue
+            state = worker.autoscaler.state_for(function_name)
+            if entry.warm and state.in_flight < len(entry.warm):
+                warm_candidates.append(worker)
+        if warm_candidates:
+            self.stats.warm_routed += 1
+            chosen = min(warm_candidates, key=lambda w: w.outstanding)
+        else:
+            chosen = min(self.workers, key=lambda w: w.outstanding)
+        self.stats.by_worker[chosen.index] = (
+            self.stats.by_worker.get(chosen.index, 0) + 1)
+        return chosen
+
+
+class Cluster:
+    """A fleet of workers behind one front end."""
+
+    def __init__(self, env: Environment, n_workers: int = 2,
+                 host_params: HostParameters | None = None,
+                 autoscaler_params: AutoscalerParameters | None = None,
+                 reap_params: ReapParameters | None = None,
+                 content: ContentMode = ContentMode.METADATA,
+                 seed: int = 42) -> None:
+        if n_workers < 1:
+            raise ValueError("cluster needs at least one worker")
+        self.env = env
+        self.workers: list[Worker] = []
+        for index in range(n_workers):
+            host = WorkerHost(env, params=host_params,
+                              seed=derive_seed(seed, "worker", index))
+            orchestrator = Orchestrator(
+                host, seed=derive_seed(seed, "orch", index),
+                content=content, reap_params=reap_params)
+            autoscaler = Autoscaler(orchestrator, autoscaler_params)
+            self.workers.append(Worker(index=index, host=host,
+                                       orchestrator=orchestrator,
+                                       autoscaler=autoscaler))
+        self.balancer = LoadBalancer(self.workers)
+
+    def deploy(self, profile: FunctionProfile,
+               ) -> Generator[Event, Any, None]:
+        """Deploy a function (snapshot) on every worker."""
+        for worker in self.workers:
+            yield from worker.orchestrator.deploy(profile)
+
+    def invoke(self, function_name: str, **invoke_kwargs,
+               ) -> Generator[Event, Any, Any]:
+        """Route one invocation through the front end."""
+        worker = self.balancer.pick(function_name)
+        worker.outstanding += 1
+        try:
+            result = yield from worker.autoscaler.invoke(function_name,
+                                                         **invoke_kwargs)
+        finally:
+            worker.outstanding -= 1
+        return result
+
+    def shutdown(self) -> None:
+        """Stop the autoscalers' background processes."""
+        for worker in self.workers:
+            worker.autoscaler.stop()

@@ -1,0 +1,139 @@
+"""Client load generation and response-time measurement (§3.3).
+
+vHive ships client software that drives deployed functions with varying
+mixes and load levels and measures response times.  This module is that
+client: an **open-loop** generator (arrivals follow the configured
+process regardless of completions, as real invocation traffic does)
+against an orchestrator-with-autoscaler or a cluster, collecting
+per-function latency distributions.
+
+The sporadic, low-rate traffic the Azure study describes (§2.1: 90 % of
+functions invoked less than once per minute) is exactly what makes cold
+starts dominate; :class:`LoadGenerator` lets experiments reproduce that
+regime and quantify how REAP moves the latency tail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+from repro.sim.engine import Environment, Event
+from repro.sim.rng import RandomStream
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Traffic for one function: Poisson arrivals at a mean rate."""
+
+    function: str
+    #: Mean inter-arrival time, in seconds.
+    mean_interarrival_s: float
+    #: Number of requests to issue.
+    requests: int = 50
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival_s <= 0:
+            raise ValueError("mean_interarrival_s must be positive")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+
+
+@dataclass
+class LatencySample:
+    """One completed request."""
+
+    function: str
+    issued_at: float
+    latency_ms: float
+    mode: str
+
+
+@dataclass
+class LoadStats:
+    """Collected samples for one function."""
+
+    samples: list[LatencySample] = field(default_factory=list)
+
+    def latencies(self) -> list[float]:
+        return sorted(sample.latency_ms for sample in self.samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile (e.g. ``0.99``) by nearest-rank."""
+        ordered = self.latencies()
+        if not ordered:
+            raise ValueError("no samples")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rank = max(math.ceil(fraction * len(ordered)) - 1, 0)
+        return ordered[rank]
+
+    @property
+    def mean_ms(self) -> float:
+        ordered = self.latencies()
+        return sum(ordered) / len(ordered) if ordered else 0.0
+
+    @property
+    def cold_fraction(self) -> float:
+        if not self.samples:
+            return 0.0
+        cold = sum(1 for sample in self.samples if sample.mode != "warm")
+        return cold / len(self.samples)
+
+    def by_mode(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for sample in self.samples:
+            counts[sample.mode] = counts.get(sample.mode, 0) + 1
+        return counts
+
+
+class LoadGenerator:
+    """Open-loop Poisson traffic against an invoker.
+
+    ``invoker`` is anything exposing
+    ``invoke(name, **kwargs) -> Generator`` -- an
+    :class:`~repro.orchestrator.autoscaler.Autoscaler` (single worker) or
+    a :class:`~repro.orchestrator.cluster.Cluster`.
+    """
+
+    def __init__(self, env: Environment, invoker,
+                 specs: Sequence[TrafficSpec], seed: int = 42) -> None:
+        if not specs:
+            raise ValueError("load generator needs at least one TrafficSpec")
+        self.env = env
+        self.invoker = invoker
+        self.specs = list(specs)
+        self.rng = RandomStream(seed, "loadgen")
+        self.stats: dict[str, LoadStats] = {
+            spec.function: LoadStats() for spec in self.specs}
+
+    def run(self) -> Generator[Event, Any, dict[str, LoadStats]]:
+        """Drive all traffic to completion; returns per-function stats."""
+        drivers = [self.env.process(self._drive(spec),
+                                    name=f"loadgen:{spec.function}")
+                   for spec in self.specs]
+        yield self.env.all_of(drivers)
+        return self.stats
+
+    def _drive(self, spec: TrafficSpec) -> Generator[Event, Any, None]:
+        stream = self.rng.child(spec.function)
+        outstanding = []
+        for _ in range(spec.requests):
+            gap_s = stream.expovariate(1.0 / spec.mean_interarrival_s)
+            yield self.env.timeout(gap_s * SEC)
+            # Open loop: issue without waiting for earlier completions.
+            outstanding.append(self.env.process(
+                self._one_request(spec.function)))
+        yield self.env.all_of(outstanding)
+
+    def _one_request(self, function: str) -> Generator[Event, Any, None]:
+        issued_at = self.env.now
+        result = yield from self.invoker.invoke(function)
+        self.stats[function].samples.append(LatencySample(
+            function=function,
+            issued_at=issued_at,
+            latency_ms=(self.env.now - issued_at) / 1000.0,
+            mode=result.mode,
+        ))

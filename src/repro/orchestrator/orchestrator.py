@@ -1,0 +1,330 @@
+"""Single-worker vHive-CRI orchestrator (§3.2, §4.1).
+
+The invocation path mirrors the paper's breakdown exactly:
+
+1. **Load VMM** -- containerd's serialized section, Firecracker spawn,
+   VMM-state file read (through the thin-pool path) and device setup;
+2. **prepare** -- policy-specific eager population (REAP's fetch +
+   install; nothing for vanilla);
+3. **Connection restoration** -- the orchestrator re-establishes its
+   persistent gRPC connection; the guest touches its stable
+   infrastructure pages, faulting under lazy policies;
+4. **Function processing** -- input fetch from the local S3 service (for
+   the large-input functions) and handler execution over the
+   invocation's access trace;
+5. **finalize** -- record-mode artifact writes (§6.4's one-time cost).
+
+Warm instances (memory-resident, connected) skip all restore work and
+serve at their warm latency, which is how the paper's warm bars and the
+warm-background experiment run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.context import LatencyBreakdown
+from repro.core.files import ArtifactFormatError
+from repro.core.manager import ReapManager, ReapParameters
+from repro.core.policies import RestorePolicy
+from repro.functions.behavior import FunctionBehavior
+from repro.functions.spec import FunctionProfile
+from repro.memory.guest import ContentMode
+from repro.memory.trace import AccessTrace
+from repro.sim.engine import Event
+from repro.sim.rng import derive_seed
+from repro.sim.units import MS
+from repro.vm.boot import boot_microvm
+from repro.vm.host import WorkerHost
+from repro.vm.microvm import MicroVM, VmState
+from repro.vm.snapshot import Snapshot, SnapshotStore
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one routed invocation."""
+
+    function: str
+    invocation: int
+    mode: str
+    breakdown: LatencyBreakdown
+    trace: AccessTrace
+    started_at: float
+    finished_at: float
+
+    @property
+    def latency_us(self) -> float:
+        """Wall-clock invocation latency as the client observes it."""
+        return self.finished_at - self.started_at
+
+    @property
+    def latency_ms(self) -> float:
+        """Client-observed latency in milliseconds."""
+        return self.latency_us / MS
+
+
+@dataclass
+class WarmInstance:
+    """A memory-resident instance kept ready for the next invocation."""
+
+    vm: MicroVM
+    policy: Optional[RestorePolicy] = None
+
+
+@dataclass
+class DeployedFunction:
+    """Registry entry of one deployed function."""
+
+    profile: FunctionProfile
+    behavior: FunctionBehavior
+    snapshot: Optional[Snapshot] = None
+    invocations: int = 0
+    warm: list[WarmInstance] = field(default_factory=list)
+
+
+class Orchestrator:
+    """Control plane and data-plane router of a single worker."""
+
+    def __init__(self, host: WorkerHost, seed: int = 42,
+                 content: ContentMode = ContentMode.METADATA,
+                 reap_params: ReapParameters | None = None) -> None:
+        self.host = host
+        self.env = host.env
+        self.seed = seed
+        self.content = content
+        self.snapshot_store = SnapshotStore(host)
+        self.reap = ReapManager(host, reap_params)
+        self._functions: dict[str, DeployedFunction] = {}
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, profile: FunctionProfile,
+               take_snapshot: bool = True,
+               ) -> Generator[Event, Any, DeployedFunction]:
+        """Deploy a function: boot it once and (optionally) snapshot it."""
+        if profile.name in self._functions:
+            raise ValueError(f"function {profile.name!r} already deployed")
+        behavior = FunctionBehavior(
+            profile, seed=derive_seed(self.seed, "fn", profile.name))
+        entry = DeployedFunction(profile=profile, behavior=behavior)
+        self._functions[profile.name] = entry
+        vm = yield from boot_microvm(self.host, profile, behavior,
+                                     content=self.content)
+        if take_snapshot:
+            entry.snapshot = yield from self.snapshot_store.capture(vm)
+        else:
+            entry.warm.append(WarmInstance(vm=vm))
+        return entry
+
+    def refresh_snapshot(self, name: str,
+                         ) -> Generator[Event, Any, DeployedFunction]:
+        """Re-generate a function's snapshot with a fresh memory layout.
+
+        The §7.3 security mitigation: VM clones spawned from one snapshot
+        share a guest-physical layout, weakening ASLR; periodically
+        re-booting and re-snapshotting (here under a new layout *epoch*)
+        re-randomizes it.  REAP's recorded artifacts describe the old
+        layout, so they are invalidated and the next cold invocation
+        records afresh.
+        """
+        entry = self.function(name)
+        behavior = FunctionBehavior(
+            entry.profile,
+            seed=derive_seed(self.seed, "fn", entry.profile.name),
+            epoch=entry.behavior.epoch + 1)
+        vm = yield from boot_microvm(self.host, entry.profile, behavior,
+                                     content=self.content)
+        entry.behavior = behavior
+        entry.snapshot = yield from self.snapshot_store.capture(vm)
+        state = self.reap.state_for(name)
+        state.artifacts = None
+        state.mispredict_streak = 0
+        return entry
+
+    def function(self, name: str) -> DeployedFunction:
+        """Look up a deployed function."""
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} not deployed") from None
+
+    def deployed_names(self) -> list[str]:
+        """All deployed function names."""
+        return list(self._functions)
+
+    # -- invocation routing ---------------------------------------------------
+
+    def invoke(self, name: str, mode: str | None = None,
+               flush_page_cache: bool = True, keep_warm: bool = False,
+               use_warm: bool = True,
+               ) -> Generator[Event, Any, InvocationResult]:
+        """Route one invocation; cold-starts an instance if needed.
+
+        ``mode`` forces a restore policy (benchmarks use this to compare
+        the Fig. 7 design points); by default the REAP manager picks
+        record/prefetch/fallback automatically.  ``flush_page_cache``
+        applies the paper's §4.1 cold-invocation methodology.
+        """
+        entry = self.function(name)
+        if use_warm and entry.warm:
+            return (yield from self._invoke_warm(entry, entry.warm[0]))
+        return (yield from self._invoke_cold(entry, mode, flush_page_cache,
+                                             keep_warm))
+
+    def evict_warm(self, name: str) -> int:
+        """Deallocate all warm instances of a function; returns count."""
+        entry = self.function(name)
+        evicted = 0
+        for warm in entry.warm:
+            self._teardown_instance(warm)
+            evicted += 1
+        entry.warm.clear()
+        return evicted
+
+    # -- warm path --------------------------------------------------------------
+
+    def _invoke_warm(self, entry: DeployedFunction, warm: WarmInstance,
+                     ) -> Generator[Event, Any, InvocationResult]:
+        vm = warm.vm
+        if not vm.is_warm:
+            raise RuntimeError(f"{vm.name} is not warm")
+        invocation = entry.invocations
+        entry.invocations += 1
+        trace = entry.behavior.trace_for(invocation)
+        breakdown = LatencyBreakdown(policy="warm", function=entry.profile.name,
+                                     invocation=invocation)
+        started = self.env.now
+        handler = self._anonymous_fault_handler(vm, breakdown)
+        # Connection already alive: no handshake, no restore work.
+        phase_start = self.env.now
+        s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
+        if s3_us > 0:
+            yield self.env.timeout(s3_us)
+        compute_us = max(trace.processing_compute_us - s3_us, 0.0)
+        yield from vm.vcpu.execute_phase(vm.memory, trace.processing_pages,
+                                         compute_us, handler)
+        breakdown.processing_us = self.env.now - phase_start
+        vm.invocations_served += 1
+        return InvocationResult(
+            function=entry.profile.name, invocation=invocation, mode="warm",
+            breakdown=breakdown, trace=trace, started_at=started,
+            finished_at=self.env.now)
+
+    def _anonymous_fault_handler(self, vm: MicroVM,
+                                 breakdown: LatencyBreakdown):
+        anon_fault_us = self.host.params.anon_fault_us
+
+        def handler(page: int) -> Generator[Event, Any, None]:
+            breakdown.demand_faults += 1
+            breakdown.zero_faults += 1
+            yield self.env.timeout(anon_fault_us)
+            vm.memory.install(page, verify=False)
+
+        return handler
+
+    # -- cold path ---------------------------------------------------------------
+
+    def _invoke_cold(self, entry: DeployedFunction, mode: str | None,
+                     flush_page_cache: bool, keep_warm: bool,
+                     ) -> Generator[Event, Any, InvocationResult]:
+        if entry.snapshot is None:
+            raise RuntimeError(
+                f"function {entry.profile.name!r} has no snapshot and no "
+                f"warm instance")
+        snapshot = entry.snapshot
+        invocation = entry.invocations
+        entry.invocations += 1
+        breakdown = LatencyBreakdown(function=entry.profile.name,
+                                     invocation=invocation)
+        if flush_page_cache:
+            self.host.flush_page_cache()
+        started = self.env.now
+
+        # 1. Load VMM (containerd + Firecracker + state file + devices).
+        yield from self._load_vmm(snapshot, breakdown)
+
+        # 2. Instantiate and eagerly populate per the restore policy.
+        policy = self.reap.policy_for(snapshot, breakdown, mode)
+        trace = entry.behavior.trace_for(invocation,
+                                         record=(policy.name == "record"))
+        vm = self.snapshot_store.instantiate(snapshot, policy.backing,
+                                             content=self.content)
+        policy.attach(vm)
+        try:
+            yield from policy.prepare(vm)
+        except ArtifactFormatError:
+            # Corrupted trace/WS file: the demand monitor can still serve
+            # every page, so the invocation proceeds (slower); the stale
+            # artifacts are discarded so the next cold start re-records.
+            breakdown.extra["artifact_error"] = 1.0
+            self.reap.state_for(entry.profile.name).artifacts = None
+        vm.transition(VmState.RUNNING)
+        handler = policy.fault_handler(vm)
+
+        # 3. Connection restoration (handshake + guest infra pages).
+        phase_start = self.env.now
+        yield self.env.timeout(self.host.params.grpc_handshake_ms * MS)
+        yield from vm.vcpu.execute_phase(
+            vm.memory, trace.connection_pages, trace.connection_compute_us,
+            handler)
+        vm.connected = True
+        breakdown.connection_us = self.env.now - phase_start
+
+        # 4. Function processing (S3 input + handler execution).
+        phase_start = self.env.now
+        s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
+        if s3_us > 0:
+            yield self.env.timeout(s3_us)
+        compute_us = max(trace.processing_compute_us - s3_us, 0.0)
+        yield from vm.vcpu.execute_phase(vm.memory, trace.processing_pages,
+                                         compute_us, handler)
+        breakdown.processing_us = self.env.now - phase_start
+
+        # 5. Finalize (record artifacts; misprediction accounting).
+        phase_start = self.env.now
+        yield from policy.finish(vm)
+        breakdown.finalize_us = self.env.now - phase_start
+        if policy.artifacts is not None:
+            untouched = policy.artifacts.page_set - trace.page_set
+            breakdown.unused_prefetched = len(untouched)
+        self.reap.complete(entry.profile.name, policy)
+
+        vm.invocations_served += 1
+        warm = WarmInstance(vm=vm, policy=policy)
+        if keep_warm:
+            entry.warm.append(warm)
+        else:
+            self._teardown_instance(warm)
+        return InvocationResult(
+            function=entry.profile.name, invocation=invocation,
+            mode=policy.name, breakdown=breakdown, trace=trace,
+            started_at=started, finished_at=self.env.now)
+
+    def _load_vmm(self, snapshot: Snapshot, breakdown: LatencyBreakdown,
+                  ) -> Generator[Event, Any, None]:
+        params = self.host.params
+        phase_start = self.env.now
+        grant = self.host.containerd_lock.request()
+        yield grant
+        try:
+            yield self.env.timeout(params.containerd_serial_ms * MS)
+        finally:
+            self.host.containerd_lock.release(grant)
+        yield self.env.timeout(params.firecracker_spawn_ms * MS)
+        yield from self.host.page_cache.read(snapshot.vmm_file, 0,
+                                             snapshot.vmm_file.size)
+        yield self.env.timeout(params.device_setup_ms * MS)
+        breakdown.load_vmm_us = self.env.now - phase_start
+
+    def _teardown_instance(self, warm: WarmInstance) -> None:
+        if warm.policy is not None:
+            monitor = getattr(warm.policy, "monitor", None)
+            if monitor is not None:
+                monitor.stop()
+            uffd = getattr(warm.policy, "uffd", None)
+            if uffd is not None and not uffd.closed:
+                uffd.close()
+        if warm.vm.state in (VmState.RUNNING, VmState.PAUSED,
+                             VmState.BOOTING):
+            warm.vm.transition(VmState.STOPPED)

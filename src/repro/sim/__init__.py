@@ -1,0 +1,63 @@
+"""Discrete-event simulation kernel.
+
+This package provides the deterministic discrete-event engine on which the
+whole worker-host model runs: a virtual clock, generator-based processes
+(the simulated analogue of the paper's goroutines and kernel threads),
+waitable events, and contended resources (disk controller, flash channels,
+CPU cores).
+
+The design follows the classic event/process co-routine style (a compact
+subset of the SimPy API): a process is a Python generator that yields
+:class:`Event` objects and is resumed when they fire.  All state advances
+only through the event loop, so a given seed always produces bit-identical
+results -- the property every experiment in ``repro.bench`` relies on.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import PriorityResource, Resource, Store
+from repro.sim.rng import RandomStream, derive_seed
+from repro.sim.units import (
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    SEC,
+    US,
+    mbps_to_bytes_per_us,
+    to_ms,
+    to_us,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "PriorityResource",
+    "Store",
+    "RandomStream",
+    "derive_seed",
+    "US",
+    "MS",
+    "SEC",
+    "KIB",
+    "MIB",
+    "GIB",
+    "to_ms",
+    "to_us",
+    "mbps_to_bytes_per_us",
+]

@@ -1,0 +1,318 @@
+"""The discrete-event engine: clock, events, and processes.
+
+A :class:`Process` wraps a Python generator.  The generator yields
+:class:`Event` objects; when a yielded event fires, the engine resumes the
+generator with the event's value.  This is the execution substrate for all
+the concurrent activity in the model -- monitor goroutines serving page
+faults, vCPUs replaying memory traces, disk channels draining queues.
+
+Two properties matter for reproduction quality:
+
+* **Determinism.**  Ties in the event heap break on a monotonically
+  increasing sequence number, so two events at the same timestamp always
+  fire in schedule order.
+* **Error transparency.**  An exception raised inside a process propagates
+  to whoever waits on it (and out of :meth:`Environment.run` if nobody
+  does), so broken models fail loudly instead of silently dropping work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the engine (not model errors)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Carries an arbitrary ``cause``; the paper's models use this to cancel
+    in-flight monitor work when an instance is torn down.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once, with either a value (:meth:`succeed`) or
+    an exception (:meth:`fail`).  Callbacks registered before triggering
+    run when the engine processes the event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        #: Set when some waiter consumed a failure, so unhandled failures
+        #: can still be detected for fire-and-forget events.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed`/:meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the engine has already run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (valid only once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (or the failure exception) of the event."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._exception if self._exception is not None else self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.env._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._queue_event(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback via a zero-delay proxy so
+            # ordering stays inside the engine.  The callback still receives
+            # *this* event (waiters check identity against what they yielded).
+            proxy = Event(self.env)
+            proxy.callbacks.append(lambda _proxy: callback(self))
+            proxy._defused = True
+            proxy._triggered = True
+            self.env._queue_event(proxy)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(env)
+        self._triggered = True
+        self._value = value
+        env._queue_event(self, delay)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event._add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child._value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._children):
+            event._add_callback(lambda ev, i=index: self._on_child(i, ev))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self._triggered:
+            if not event.ok:
+                event._defused = True
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self.succeed((index, event._value))
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator; itself an event that fires on completion."""
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process body must be a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off the first step at the current time.
+        bootstrap = Event(env)
+        bootstrap._triggered = True
+        bootstrap._defused = True
+        env._queue_event(bootstrap)
+        bootstrap.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        wake = Event(self.env)
+        wake._triggered = True
+        wake._exception = Interrupt(cause)
+        wake._defused = True
+        self._waiting_on = None
+        wake.callbacks.append(self._resume)
+        self.env._queue_event(wake)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Ignore wakeups from events we stopped waiting on (e.g. after an
+        # interrupt raced with the original wait target).
+        if self._waiting_on is not None and event is not self._waiting_on:
+            if not event.ok:
+                event._defused = True
+            return
+        self._waiting_on = None
+        try:
+            if event._exception is not None:
+                event._defused = True
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event"))
+            return
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in microseconds."""
+        return self._now
+
+    def event(self) -> Event:
+        """Create an untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Launch a process from a generator."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def _queue_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def _step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif event._exception is not None and not event._defused:
+            # A failure nobody waited for: surface it rather than lose it.
+            raise event._exception
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the event loop.
+
+        ``until`` may be ``None`` (run to exhaustion), a time, or an
+        :class:`Event` (run until it is processed, returning its value).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "event queue exhausted before target event fired")
+                self._step()
+            if target._exception is not None:
+                raise target._exception
+            return target._value
+        deadline = float("inf") if until is None else float(until)
+        while self._heap and self._heap[0][0] <= deadline:
+            self._step()
+        if until is not None:
+            self._now = max(self._now, deadline)
+        return None

@@ -1,0 +1,54 @@
+"""Time and size units used throughout the simulator.
+
+The simulation clock counts **microseconds** (as floats).  All latency
+constants in the models are therefore expressed in microseconds, and all
+sizes in bytes.  The helpers here exist so that calibration tables can be
+written in the units the paper uses (milliseconds, MB/s) without sprinkling
+magic conversion factors through the code.
+"""
+
+from __future__ import annotations
+
+#: One microsecond -- the base unit of simulated time.
+US = 1.0
+#: One millisecond in microseconds.
+MS = 1_000.0
+#: One second in microseconds.
+SEC = 1_000_000.0
+
+#: Sizes, in bytes.
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: Guest page size used by all memory models (x86-64 base pages).
+PAGE_SIZE = 4096
+
+
+def to_ms(us: float) -> float:
+    """Convert microseconds of simulated time to milliseconds."""
+    return us / MS
+
+
+def to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds of simulated time."""
+    return ms * MS
+
+
+def mbps_to_bytes_per_us(mbps: float) -> float:
+    """Convert a bandwidth in MB/s (10^6 bytes/s) to bytes per microsecond.
+
+    The paper quotes disk bandwidths in MB/s (e.g. the 850 MB/s SSD peak);
+    internally transfers are computed in bytes/us.
+    """
+    return mbps * 1e6 / SEC
+
+
+def bytes_per_us_to_mbps(bytes_per_us: float) -> float:
+    """Inverse of :func:`mbps_to_bytes_per_us`."""
+    return bytes_per_us * SEC / 1e6
+
+
+def pages(n_bytes: int) -> int:
+    """Number of whole pages needed to hold ``n_bytes``."""
+    return (n_bytes + PAGE_SIZE - 1) // PAGE_SIZE

@@ -1,0 +1,48 @@
+"""Storage substrate: block devices, page cache, and a tiny filesystem.
+
+This package reproduces the storage behaviour the paper's analysis hinges
+on (§4.2, §5.2.3):
+
+* an **SSD model** with a serialized controller and parallel flash
+  channels, calibrated to the paper's fio microbenchmark (32 MB/s for a
+  single 4 KB read, 360 MB/s at queue depth 16, 850 MB/s peak sequential);
+* an **HDD model** (seek + rotation + streaming) for the §6.3 experiment;
+* a **thin-pool wrapper** modelling the containerd devmapper path that
+  snapshot guest-memory files sit behind, whose small internal queue depth
+  is what limits both the Parallel-PF design point (Fig. 7) and baseline
+  scalability (Fig. 9);
+* a **host page cache** with sequential readahead, mmap-style fault reads,
+  an ``O_DIRECT`` bypass, and ``drop_caches`` (the paper flushes the page
+  cache before every cold invocation);
+* a **filesystem** whose files carry real bytes in extent-mapped blocks,
+  so REAP's file formats can be checked for content correctness, not just
+  timing.
+
+Timing methods are generator *processes*: call them with ``yield from``
+inside a simulation process.
+"""
+
+from repro.storage.device import DeviceStats, IoRequest, ReadKind
+from repro.storage.filesystem import Filesystem, SimFile
+from repro.storage.hdd import HddDevice, HddParameters
+from repro.storage.pagecache import HostPageCache, PageCacheParameters
+from repro.storage.remote import RemoteDevice, RemoteStorageParameters
+from repro.storage.ssd import SsdDevice, SsdParameters
+from repro.storage.thinpool import ThinPoolDevice
+
+__all__ = [
+    "DeviceStats",
+    "IoRequest",
+    "ReadKind",
+    "Filesystem",
+    "SimFile",
+    "SsdDevice",
+    "SsdParameters",
+    "HddDevice",
+    "HddParameters",
+    "ThinPoolDevice",
+    "RemoteDevice",
+    "RemoteStorageParameters",
+    "HostPageCache",
+    "PageCacheParameters",
+]

@@ -1,0 +1,108 @@
+"""Block-device abstraction and I/O accounting.
+
+Devices only model *timing*; bytes live in :mod:`repro.storage.filesystem`.
+A device serves :class:`IoRequest` objects through its ``read``/``write``
+generator methods, and keeps a :class:`DeviceStats` tally that experiments
+use to report effective bandwidths (e.g. the 43 MB/s the baseline extracts
+from the SSD versus REAP's 533 MB/s, §6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Protocol
+
+from repro.sim.engine import Environment, Event
+from repro.sim.units import SEC
+
+
+class ReadKind(enum.Enum):
+    """Why an I/O happened -- used only for accounting breakdowns."""
+
+    DEMAND_FAULT = "demand_fault"
+    READAHEAD = "readahead"
+    BUFFERED = "buffered"
+    DIRECT = "direct"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """A single device request.
+
+    ``lba`` is the byte offset on the device; ``nbytes`` the transfer
+    size.  ``kind`` tags the request for statistics.
+    """
+
+    lba: int
+    nbytes: int
+    kind: ReadKind = ReadKind.BUFFERED
+
+    def __post_init__(self) -> None:
+        if self.lba < 0 or self.nbytes <= 0:
+            raise ValueError(f"invalid request lba={self.lba} nbytes={self.nbytes}")
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative I/O counters for one device."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    bytes_by_kind: dict[ReadKind, int] = field(default_factory=dict)
+    first_io_at: float | None = None
+    last_io_at: float | None = None
+
+    def record(self, request: IoRequest, now: float) -> None:
+        """Account one completed request at simulated time ``now``."""
+        if request.kind is ReadKind.WRITE:
+            self.write_bytes += request.nbytes
+            self.write_requests += 1
+        else:
+            self.read_bytes += request.nbytes
+            self.read_requests += 1
+        self.bytes_by_kind[request.kind] = (
+            self.bytes_by_kind.get(request.kind, 0) + request.nbytes)
+        if self.first_io_at is None:
+            self.first_io_at = now
+        self.last_io_at = now
+
+    def effective_read_mbps(self, elapsed_us: float) -> float:
+        """Read bandwidth in MB/s over an elapsed window of simulated time."""
+        if elapsed_us <= 0:
+            return 0.0
+        return self.read_bytes / 1e6 / (elapsed_us / SEC)
+
+    def snapshot(self) -> "DeviceStats":
+        """A copy, so callers can diff before/after an experiment phase."""
+        return DeviceStats(
+            read_bytes=self.read_bytes,
+            write_bytes=self.write_bytes,
+            read_requests=self.read_requests,
+            write_requests=self.write_requests,
+            bytes_by_kind=dict(self.bytes_by_kind),
+            first_io_at=self.first_io_at,
+            last_io_at=self.last_io_at,
+        )
+
+    def delta_read_bytes(self, earlier: "DeviceStats") -> int:
+        """Read bytes accumulated since an earlier snapshot."""
+        return self.read_bytes - earlier.read_bytes
+
+
+class BlockDevice(Protocol):
+    """Minimal protocol the page cache and filesystem expect."""
+
+    env: Environment
+    stats: DeviceStats
+
+    def read(self, request: IoRequest) -> Generator[Event, Any, None]:
+        """Serve a read; a generator to drive with ``yield from``."""
+        ...
+
+    def write(self, request: IoRequest) -> Generator[Event, Any, None]:
+        """Serve a write."""
+        ...

@@ -1,0 +1,248 @@
+"""Host page cache with readahead, mmap fault path, and O_DIRECT bypass.
+
+Three read paths matter to the paper, and all three live here:
+
+* :meth:`HostPageCache.fault_in` -- the mmap-style first-touch path taken
+  by lazily restored guest memory (vanilla snapshots).  Each miss performs
+  a small *windowed* read around the faulting page; pages adjacent on disk
+  and accessed soon after are then cache hits.  With the ~2-3-page
+  contiguity of function working sets (Fig. 3) this yields the ~43 MB/s
+  effective bandwidth the paper reports for the baseline, far from the
+  device's capability.
+* :meth:`HostPageCache.read` -- the buffered ``read(2)`` path with
+  sequential readahead.  Large sequential reads pay a per-page cache
+  insertion/copy cost, which is exactly the gap between the paper's
+  "WS file" design point (275 MB/s) and REAP proper.
+* the ``direct=True`` variant of :meth:`read` -- the ``O_DIRECT`` path
+  REAP uses, which skips the cache and its per-page costs and reaches
+  533 MB/s.
+
+``drop_caches`` models the paper's methodology of flushing the host page
+cache before every cold invocation (§4.1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.sim.engine import Environment, Event
+from repro.sim.units import KIB, PAGE_SIZE
+from repro.storage.device import IoRequest, ReadKind
+from repro.storage.filesystem import SimFile
+
+#: Cache key: (file identity, file version, block index).
+_CacheKey = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class PageCacheParameters:
+    """Host-kernel path costs (calibrated; see bench_fio_ssd and Fig. 7)."""
+
+    #: Minor fault / cache-hit service time per page.
+    hit_us: float = 4.0
+    #: Page allocation + cache insertion + mapping cost per page brought in.
+    insert_us: float = 7.5
+    #: Extra copy-to-user cost per page on buffered read(2).
+    copy_us: float = 1.5
+    #: Kernel entry/exit + page-table update on a major fault.
+    major_fault_us: float = 18.0
+    #: O_DIRECT per-page DMA setup/pinning cost.
+    direct_per_page_us: float = 2.6
+    #: Pages read around a major mmap fault (the fault window).
+    mmap_readahead_pages: int = 4
+    #: Readahead window for sequential buffered reads.
+    readahead_bytes: int = 256 * KIB
+    #: Maximum number of cached pages (default effectively unbounded).
+    capacity_pages: int = 1 << 24
+
+
+class HostPageCache:
+    """LRU page cache shared by every file on the host."""
+
+    def __init__(self, env: Environment,
+                 params: PageCacheParameters | None = None) -> None:
+        self.env = env
+        self.params = params or PageCacheParameters()
+        self._cached: OrderedDict[_CacheKey, None] = OrderedDict()
+        #: Per-file readahead state: (next expected block, window pages).
+        self._readahead: dict[int, tuple[int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- cache bookkeeping -------------------------------------------------
+
+    def _key(self, file: SimFile, block: int) -> _CacheKey:
+        return (id(file), file.version, block)
+
+    def is_cached(self, file: SimFile, block: int) -> bool:
+        """Whether a file block is resident."""
+        return self._key(file, block) in self._cached
+
+    def _touch(self, key: _CacheKey) -> None:
+        self._cached.move_to_end(key)
+
+    def _insert(self, key: _CacheKey) -> None:
+        self._cached[key] = None
+        self._cached.move_to_end(key)
+        while len(self._cached) > self.params.capacity_pages:
+            self._cached.popitem(last=False)
+
+    @property
+    def cached_pages(self) -> int:
+        """Number of resident pages."""
+        return len(self._cached)
+
+    def drop_caches(self) -> None:
+        """Flush everything (``echo 3 > /proc/sys/vm/drop_caches``)."""
+        self._cached.clear()
+
+    # -- mmap fault path ---------------------------------------------------
+
+    def fault_in(self, file: SimFile,
+                 block: int) -> Generator[Event, Any, bool]:
+        """Serve a first-touch fault on a file-backed mapping.
+
+        Returns ``True`` if the fault was a major fault (required device
+        I/O).  On a miss, reads a forward window of
+        ``mmap_readahead_pages`` starting at the faulting page, skipping
+        already-cached pages at the window edges.
+        """
+        key = self._key(file, block)
+        if key in self._cached:
+            self.hits += 1
+            self._touch(key)
+            yield self.env.timeout(self.params.hit_us)
+            return False
+        self.misses += 1
+        if not file.has_block(block):
+            # Sparse hole: the kernel maps a zero page, no device I/O.
+            self._insert(key)
+            yield self.env.timeout(self.params.major_fault_us
+                                   + self.params.insert_us)
+            return False
+        window = self._plan_fault_window(file, block)
+        yield from self._device_read(file, window[0], len(window),
+                                     ReadKind.DEMAND_FAULT)
+        for index in window:
+            self._insert(self._key(file, index))
+        cost = (self.params.major_fault_us
+                + self.params.insert_us * len(window))
+        yield self.env.timeout(cost)
+        return True
+
+    def _device_read(self, file: SimFile, first_block: int, n_blocks: int,
+                     kind: ReadKind) -> Generator[Event, Any, None]:
+        offset = first_block * PAGE_SIZE
+        nbytes = min(n_blocks * PAGE_SIZE, file.size - offset)
+        for lba, length in file.iter_device_ranges(offset, nbytes):
+            yield from file.device.read(
+                IoRequest(lba=lba, nbytes=length, kind=kind))
+
+    def _plan_fault_window(self, file: SimFile, block: int) -> list[int]:
+        last_block = (file.size - 1) // PAGE_SIZE
+        window = [block]
+        for ahead in range(1, self.params.mmap_readahead_pages):
+            candidate = block + ahead
+            if candidate > last_block:
+                break
+            if self.is_cached(file, candidate):
+                break
+            if not file.has_block(candidate):
+                break
+            window.append(candidate)
+        return window
+
+    # -- read(2) path --------------------------------------------------------
+
+    def read(self, file: SimFile, offset: int, nbytes: int,
+             direct: bool = False,
+             kind: ReadKind | None = None) -> Generator[Event, Any, bytes]:
+        """Buffered or O_DIRECT read; returns the content bytes."""
+        if direct:
+            yield from self._direct_read(file, offset, nbytes)
+        else:
+            yield from self._buffered_read(file, offset, nbytes,
+                                           kind or ReadKind.BUFFERED)
+        return file.read(offset, nbytes)
+
+    def _direct_read(self, file: SimFile, offset: int,
+                     nbytes: int) -> Generator[Event, Any, None]:
+        pages = (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+        yield self.env.timeout(self.params.direct_per_page_us * pages)
+        for lba, length in file.iter_device_ranges(offset, nbytes):
+            yield from file.device.read(
+                IoRequest(lba=lba, nbytes=length, kind=ReadKind.DIRECT))
+
+    def _buffered_read(self, file: SimFile, offset: int, nbytes: int,
+                       kind: ReadKind) -> Generator[Event, Any, None]:
+        end = min(offset + nbytes, file.size)
+        first_block = offset // PAGE_SIZE
+        last_block = (end - 1) // PAGE_SIZE
+        # Sequential detection with window ramping, as the kernel does: a
+        # read starting where the previous one ended grows the readahead
+        # window (16 KiB doubling up to ``readahead_bytes``); a random
+        # read resets it and fetches only what was asked for.
+        expected, window = self._readahead.get(id(file), (-1, 0))
+        if first_block == expected:
+            window = min(max(window * 2, 4),
+                         self.params.readahead_bytes // PAGE_SIZE)
+        else:
+            window = 0
+        self._readahead[id(file)] = (last_block + 1, window)
+        block = first_block
+        while block <= last_block:
+            if self.is_cached(file, block):
+                self._touch(self._key(file, block))
+                self.hits += 1
+                yield self.env.timeout(self.params.copy_us)
+                block += 1
+                continue
+            # Miss: read the remaining requested blocks plus the current
+            # readahead window, clipped to contiguous uncached written
+            # blocks (holes need no I/O and stop the window).
+            self.misses += 1
+            max_chunk = max(self.params.readahead_bytes // PAGE_SIZE, 1)
+            target = min(max((last_block - block + 1) + window, 1), max_chunk)
+            run = [block] if file.has_block(block) else []
+            while (run
+                   and len(run) < target
+                   and not self.is_cached(file, run[-1] + 1)
+                   and file.has_block(run[-1] + 1)
+                   and (run[-1] + 1) * PAGE_SIZE < file.size):
+                run.append(run[-1] + 1)
+            if not run:
+                # Hole: zero-fill without device I/O.
+                self._insert(self._key(file, block))
+                yield self.env.timeout(self.params.insert_us
+                                       + self.params.copy_us)
+                block += 1
+                continue
+            run_offset = run[0] * PAGE_SIZE
+            run_bytes = min(len(run) * PAGE_SIZE, file.size - run_offset)
+            for lba, length in file.iter_device_ranges(run_offset, run_bytes):
+                yield from file.device.read(
+                    IoRequest(lba=lba, nbytes=length, kind=kind))
+            for index in run:
+                self._insert(self._key(file, index))
+            cost = len(run) * (self.params.insert_us + self.params.copy_us)
+            yield self.env.timeout(cost)
+            block = run[-1] + 1
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, file: SimFile, offset: int, data: bytes,
+              sync: bool = True) -> Generator[Event, Any, None]:
+        """Write content and charge device time (write-through when sync)."""
+        file.write(offset, data)
+        pages = (len(data) + PAGE_SIZE - 1) // PAGE_SIZE
+        yield self.env.timeout(self.params.copy_us * pages)
+        if sync:
+            for lba, length in file.iter_device_ranges(offset, len(data)):
+                yield from file.device.write(
+                    IoRequest(lba=lba, nbytes=length, kind=ReadKind.WRITE))
+        # Freshly written pages are resident.
+        first_block = offset // PAGE_SIZE
+        for index in range(first_block, first_block + pages):
+            self._insert(self._key(file, index))

@@ -1,0 +1,72 @@
+"""Remote (disaggregated) snapshot storage.
+
+§2.3 and §7.1 of the paper discuss keeping snapshots in a remote storage
+service (S3/EBS-style) instead of the local SSD: retrieval speed then
+depends on the network round trip and link bandwidth on top of the
+service's internal disks.  REAP's advantage *grows* in that setting —
+it moves a minimal amount of state in one large transfer, while lazy
+paging pays a round trip per small read.
+
+:class:`RemoteDevice` wraps any backing device with a network hop: each
+request pays one round-trip latency and streams its payload over a
+shared, capacity-one link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.sim.engine import Environment, Event
+from repro.sim.resources import Resource
+from repro.sim.units import mbps_to_bytes_per_us
+from repro.storage.device import BlockDevice, DeviceStats, IoRequest
+
+
+@dataclass(frozen=True)
+class RemoteStorageParameters:
+    """Network path to the storage service."""
+
+    #: One-way network latency (request + response = 2x).
+    network_latency_us: float = 250.0
+    #: Link bandwidth between worker and storage service.
+    network_bandwidth_mbps: float = 1200.0
+    #: Fixed service-side request handling overhead.
+    service_overhead_us: float = 120.0
+
+
+class RemoteDevice:
+    """A backing device reached over the network."""
+
+    def __init__(self, env: Environment, backing: BlockDevice,
+                 params: RemoteStorageParameters | None = None,
+                 name: str = "remote") -> None:
+        self.env = env
+        self.backing = backing
+        self.params = params or RemoteStorageParameters()
+        self.name = name
+        self.stats = DeviceStats()
+        self._link = Resource(env, capacity=1)
+        self._bytes_per_us = mbps_to_bytes_per_us(
+            self.params.network_bandwidth_mbps)
+
+    def read(self, request: IoRequest) -> Generator[Event, Any, None]:
+        """Fetch a range from the remote service."""
+        yield from self._round_trip(request, self.backing.read)
+        self.stats.record(request, self.env.now)
+
+    def write(self, request: IoRequest) -> Generator[Event, Any, None]:
+        """Push a range to the remote service."""
+        yield from self._round_trip(request, self.backing.write)
+        self.stats.record(request, self.env.now)
+
+    def _round_trip(self, request: IoRequest,
+                    backing_op) -> Generator[Event, Any, None]:
+        params = self.params
+        yield self.env.timeout(params.network_latency_us
+                               + params.service_overhead_us)
+        yield from backing_op(request)
+        # Response payload streams over the shared link.
+        transfer_us = request.nbytes / self._bytes_per_us
+        yield from self._link.acquire(transfer_us)
+        yield self.env.timeout(params.network_latency_us)

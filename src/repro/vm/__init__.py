@@ -1,0 +1,37 @@
+"""MicroVM substrate: Firecracker-like VMs, boot, snapshots, vCPU replay.
+
+The paper's worker runs functions inside Firecracker MicroVMs managed by
+Containerd.  This package models that substrate:
+
+* :class:`WorkerHost` -- the physical host: SSD (or HDD), the devmapper
+  thin-pool path snapshot files live behind, host page cache, containerd
+  control-plane serialization, and every calibrated kernel/userfaultfd
+  cost constant (:class:`HostParameters`);
+* :class:`MicroVM` -- one function instance: guest memory, vCPU, and a
+  validated lifecycle state machine;
+* :func:`boot_microvm` -- the full cold-boot path (§2.2: 700-1300 ms in
+  production-grade frameworks, plus runtime initialization);
+* :class:`SnapshotStore` -- snapshot capture (VMM state file + sparse
+  guest-memory file) and instantiation of restored memory regions;
+* :class:`VCpu` -- replays an invocation's first-touch access trace,
+  interleaving guest compute with whatever fault path the active restore
+  policy installs.
+"""
+
+from repro.vm.boot import boot_microvm
+from repro.vm.host import HostParameters, WorkerHost
+from repro.vm.microvm import MicroVM, VmState, VmStateError
+from repro.vm.snapshot import Snapshot, SnapshotStore
+from repro.vm.vcpu import VCpu
+
+__all__ = [
+    "WorkerHost",
+    "HostParameters",
+    "MicroVM",
+    "VmState",
+    "VmStateError",
+    "boot_microvm",
+    "Snapshot",
+    "SnapshotStore",
+    "VCpu",
+]

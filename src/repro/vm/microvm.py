@@ -1,0 +1,76 @@
+"""MicroVM instance and its lifecycle state machine."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.functions.behavior import FunctionBehavior
+from repro.functions.spec import FunctionProfile
+from repro.memory.guest import GuestMemory
+from repro.sim.engine import Environment
+from repro.vm.vcpu import VCpu
+
+
+class VmState(enum.Enum):
+    """Lifecycle of a MicroVM instance."""
+
+    CREATED = "created"
+    BOOTING = "booting"
+    RUNNING = "running"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+
+
+class VmStateError(RuntimeError):
+    """An operation was attempted in an incompatible VM state."""
+
+
+_ALLOWED_TRANSITIONS: dict[VmState, frozenset[VmState]] = {
+    VmState.CREATED: frozenset({VmState.BOOTING, VmState.RUNNING}),
+    VmState.BOOTING: frozenset({VmState.RUNNING, VmState.STOPPED}),
+    VmState.RUNNING: frozenset({VmState.PAUSED, VmState.STOPPED}),
+    VmState.PAUSED: frozenset({VmState.RUNNING, VmState.STOPPED}),
+    VmState.STOPPED: frozenset(),
+}
+
+_vm_ids = itertools.count()
+
+
+class MicroVM:
+    """One Firecracker-style MicroVM running one function instance."""
+
+    def __init__(self, env: Environment, profile: FunctionProfile,
+                 behavior: FunctionBehavior, memory: GuestMemory) -> None:
+        self.env = env
+        self.profile = profile
+        self.behavior = behavior
+        self.memory = memory
+        self.vm_id = next(_vm_ids)
+        self.name = f"{profile.name}-vm{self.vm_id}"
+        self.state = VmState.CREATED
+        self.vcpu = VCpu(env)
+        #: Whether the orchestrator holds a live gRPC connection to the
+        #: agent inside this VM.
+        self.connected = False
+        #: Number of invocations this instance has served.
+        self.invocations_served = 0
+
+    def transition(self, target: VmState) -> None:
+        """Move to ``target``, validating against the lifecycle graph."""
+        if target not in _ALLOWED_TRANSITIONS[self.state]:
+            raise VmStateError(
+                f"{self.name}: illegal transition {self.state.value} -> "
+                f"{target.value}")
+        self.state = target
+        if target is not VmState.RUNNING:
+            self.connected = False
+
+    @property
+    def is_warm(self) -> bool:
+        """Running, connected, and ready to serve without restore work."""
+        return self.state is VmState.RUNNING and self.connected
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MicroVM({self.name}, state={self.state.value}, "
+                f"resident={self.memory.present_pages}p)")

@@ -1,0 +1,159 @@
+"""Snapshot capture and restore-side instantiation.
+
+A snapshot is two files, both placed behind the host's thin-pool device
+(the containerd devmapper path, §2.3):
+
+* the **VMM state file** -- serialized VMM + emulated-device state,
+  loaded in full at restore ("Load VMM" in the paper's breakdown);
+* the **guest memory file** -- a sparse file holding the contents of
+  every page resident at capture time.  Restores map it lazily: nothing
+  is populated until first touch.
+
+The store tracks the latest snapshot per function.  Restore policies
+(in :mod:`repro.core`) decide *how* pages get from the memory file into
+a new instance's guest memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.functions.behavior import FunctionBehavior
+from repro.functions.spec import FunctionProfile
+from repro.memory.guest import BackingMode, ContentMode, GuestMemory
+from repro.sim.engine import Event
+from repro.sim.units import MS, PAGE_SIZE
+from repro.storage.device import IoRequest, ReadKind
+from repro.storage.filesystem import SimFile
+from repro.vm.host import WorkerHost
+from repro.vm.microvm import MicroVM, VmState
+
+_capture_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A captured, restorable function image."""
+
+    function_name: str
+    epoch: int
+    profile: FunctionProfile
+    behavior: FunctionBehavior
+    vmm_file: SimFile
+    memory_file: SimFile
+    resident_pages: int
+    created_at: float
+
+    @property
+    def memory_bytes(self) -> int:
+        """Guest memory size of the captured VM."""
+        return self.memory_file.size
+
+
+class SnapshotStore:
+    """Per-host registry of function snapshots."""
+
+    def __init__(self, host: WorkerHost) -> None:
+        self.host = host
+        self._latest: dict[str, Snapshot] = {}
+
+    def capture(self, vm: MicroVM,
+                stop_vm: bool = True) -> Generator[Event, Any, Snapshot]:
+        """Snapshot a running/paused VM; returns the :class:`Snapshot`.
+
+        Capture pauses the VM, serializes VMM state, and writes the
+        resident guest pages to a sparse memory file.  With ``stop_vm``
+        the instance is discarded afterwards (the paper's usage: snapshot
+        once, then serve every cold start from it).
+        """
+        host = self.host
+        if vm.state is VmState.RUNNING:
+            vm.transition(VmState.PAUSED)
+        elif vm.state is not VmState.PAUSED:
+            raise RuntimeError(f"cannot snapshot VM in state {vm.state}")
+        profile = vm.profile
+        behavior = vm.behavior
+        capture_id = next(_capture_ids)
+        prefix = f"snapshots/{profile.name}/e{behavior.epoch}-c{capture_id}"
+
+        vmm_file = host.filesystem.create(
+            f"{prefix}/vmm_state", host.params.vmm_state_bytes,
+            device=host.snapshot_device)
+        vmm_file.mark_written_blocks(range(vmm_file.block_count))
+        memory_file = host.filesystem.create(
+            f"{prefix}/guest_mem", vm.memory.size_bytes,
+            device=host.snapshot_device)
+
+        # Serialize VMM state, then stream resident pages out.  Both are
+        # large sequential writes through the thin pool.
+        yield host.env.timeout(1.0 * MS)  # pause + quiesce
+        yield from host.snapshot_device.write(IoRequest(
+            lba=vmm_file.to_lba(0), nbytes=vmm_file.size,
+            kind=ReadKind.WRITE))
+        resident = sorted(
+            page for page in range(vm.memory.page_count)
+            if vm.memory.is_present(page))
+        if resident:
+            yield from host.snapshot_device.write(IoRequest(
+                lba=memory_file.to_lba(0),
+                nbytes=len(resident) * PAGE_SIZE,
+                kind=ReadKind.WRITE))
+        if vm.memory.content_mode is ContentMode.FULL:
+            for page in resident:
+                memory_file.write_block(page, vm.memory.read_page(page))
+        else:
+            memory_file.mark_written_blocks(resident)
+
+        snapshot = Snapshot(
+            function_name=profile.name,
+            epoch=behavior.epoch,
+            profile=profile,
+            behavior=behavior,
+            vmm_file=vmm_file,
+            memory_file=memory_file,
+            resident_pages=len(resident),
+            created_at=host.env.now,
+        )
+        self._latest[profile.name] = snapshot
+        if stop_vm:
+            vm.transition(VmState.STOPPED)
+        else:
+            vm.transition(VmState.RUNNING)
+        return snapshot
+
+    def get(self, function_name: str) -> Snapshot:
+        """The latest snapshot for a function."""
+        try:
+            return self._latest[function_name]
+        except KeyError:
+            raise KeyError(
+                f"no snapshot for function {function_name!r}") from None
+
+    def exists(self, function_name: str) -> bool:
+        """Whether a snapshot exists for ``function_name``."""
+        return function_name in self._latest
+
+    def instantiate(self, snapshot: Snapshot, backing: BackingMode,
+                    content: ContentMode = ContentMode.METADATA,
+                    private_view: bool = True) -> MicroVM:
+        """Create a new (not yet populated) instance from a snapshot.
+
+        The returned VM is in ``CREATED`` state with an empty,
+        lazily-backed memory region; a restore policy takes it from here.
+        With ``private_view`` (the default) the instance reads the memory
+        file through its own devmapper-style view, so concurrent
+        instances share no page-cache state (§6.1 disallows sharing).
+        """
+        if backing is BackingMode.ANONYMOUS:
+            raise ValueError("restored memory must be file- or uffd-backed")
+        memory_file = snapshot.memory_file
+        if private_view:
+            memory_file = memory_file.clone_view(
+                f"{memory_file.name}/view{next(_capture_ids)}")
+        memory = GuestMemory(snapshot.memory_bytes, mode=backing,
+                             content=content,
+                             backing_file=memory_file)
+        return MicroVM(self.host.env, snapshot.profile, snapshot.behavior,
+                       memory)

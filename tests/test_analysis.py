@@ -1,0 +1,94 @@
+"""Tests for aggregation and report rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    average_breakdowns,
+    comparison_table,
+    format_table,
+    geometric_mean,
+)
+from repro.core.context import LatencyBreakdown
+
+
+def make_breakdown(total_parts=(1000.0, 2000.0), faults=3):
+    breakdown = LatencyBreakdown(policy="vanilla", function="f")
+    breakdown.load_vmm_us = total_parts[0]
+    breakdown.processing_us = total_parts[1]
+    breakdown.demand_faults = faults
+    return breakdown
+
+
+def test_average_breakdowns_means():
+    first = make_breakdown((1000.0, 2000.0), faults=2)
+    second = make_breakdown((3000.0, 4000.0), faults=4)
+    summary = average_breakdowns([first, second])
+    assert summary.samples == 2
+    assert summary.load_vmm_ms == pytest.approx(2.0)
+    assert summary.processing_ms == pytest.approx(3.0)
+    assert summary.total_ms == pytest.approx(5.0)
+    assert summary.demand_faults == pytest.approx(3.0)
+    assert summary.policy == "vanilla"
+
+
+def test_average_breakdowns_empty_rejected():
+    with pytest.raises(ValueError):
+        average_breakdowns([])
+
+
+def test_breakdown_total_is_component_sum():
+    breakdown = make_breakdown()
+    breakdown.fetch_ws_us = 500.0
+    breakdown.connection_us = 250.0
+    assert breakdown.total_us == pytest.approx(1000 + 2000 + 500 + 250)
+    assert breakdown.total_ms == pytest.approx(breakdown.total_us / 1000)
+
+
+def test_summary_row_shape():
+    summary = average_breakdowns([make_breakdown()])
+    row = summary.as_row()
+    assert row["function"] == "f"
+    assert row["policy"] == "vanilla"
+    assert "total_ms" in row
+
+
+def test_geometric_mean_known_values():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([3.7]) == pytest.approx(3.7)
+
+
+def test_geometric_mean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1,
+                max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_geometric_mean_between_min_and_max(values):
+    mean = geometric_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+def test_format_table_alignment_and_title():
+    rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.25}]
+    text = format_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "22.25" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="t")
+
+
+def test_comparison_table_deviation():
+    rows = comparison_table({"x": 110.0}, {"x": 100.0, "y": 5.0})
+    by_item = {row["item"]: row for row in rows}
+    assert by_item["x"]["deviation"] == "+10.0%"
+    assert by_item["y"]["measured_ms"] == "n/a"

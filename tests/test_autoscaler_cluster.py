@@ -1,0 +1,131 @@
+"""Tests for the Knative-style autoscaler and the multi-worker cluster."""
+
+import pytest
+
+from repro.functions import FunctionProfile
+from repro.orchestrator import Autoscaler, AutoscalerParameters, Cluster
+from repro.orchestrator.orchestrator import Orchestrator
+from repro.sim import Environment, SEC
+from repro.vm import WorkerHost
+
+
+def toy(name="toy"):
+    return FunctionProfile(
+        name=name,
+        description="toy",
+        vm_memory_mb=32,
+        boot_footprint_mb=6.0,
+        warm_ms=4.0,
+        connection_pages=50,
+        processing_pages=120,
+        unique_pages=10,
+        contiguity_mean=2.4,
+    )
+
+
+def make_scaled(params=None):
+    env = Environment()
+    host = WorkerHost(env, seed=7)
+    orch = Orchestrator(host, seed=7)
+    scaler = Autoscaler(orch, params)
+    env.run(until=env.process(orch.deploy(toy())))
+    return env, orch, scaler
+
+
+def test_first_request_cold_second_warm():
+    env, orch, scaler = make_scaled()
+    first = env.run(until=env.process(scaler.invoke("toy")))
+    second = env.run(until=env.process(scaler.invoke("toy")))
+    assert first.mode != "warm"
+    assert second.mode == "warm"
+    state = scaler.state_for("toy")
+    assert state.cold_starts == 1
+    assert state.warm_hits == 1
+    scaler.stop()
+
+
+def test_concurrent_requests_scale_out():
+    env, orch, scaler = make_scaled()
+    results = []
+
+    def req():
+        outcome = yield from scaler.invoke("toy")
+        results.append(outcome)
+
+    jobs = [env.process(req()) for _ in range(3)]
+    env.run(until=env.all_of(jobs))
+    state = scaler.state_for("toy")
+    # All three arrived with no warm instance free: three cold starts.
+    assert state.cold_starts == 3
+    assert len(orch.function("toy").warm) == 3
+    scaler.stop()
+
+
+def test_idle_instances_reaped_after_keepalive():
+    params = AutoscalerParameters(keepalive_s=60.0, scan_period_s=10.0)
+    env, orch, scaler = make_scaled(params)
+    env.run(until=env.process(scaler.invoke("toy")))
+    assert len(orch.function("toy").warm) == 1
+    env.run(until=env.now + 200 * SEC)
+    assert len(orch.function("toy").warm) == 0
+    assert scaler.state_for("toy").evictions == 1
+    scaler.stop()
+
+
+def test_recently_used_instances_survive_reaper():
+    params = AutoscalerParameters(keepalive_s=300.0, scan_period_s=10.0)
+    env, orch, scaler = make_scaled(params)
+    env.run(until=env.process(scaler.invoke("toy")))
+    env.run(until=env.now + 100 * SEC)
+    assert len(orch.function("toy").warm) == 1
+    scaler.stop()
+
+
+def test_cluster_deploy_and_route():
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=11)
+    env.run(until=env.process(cluster.deploy(toy())))
+    first = env.run(until=env.process(cluster.invoke("toy")))
+    assert first.mode != "warm"
+    # The follow-up request routes to the worker holding the warm
+    # instance.
+    second = env.run(until=env.process(cluster.invoke("toy")))
+    assert second.mode == "warm"
+    assert cluster.balancer.stats.warm_routed >= 1
+    cluster.shutdown()
+
+
+def test_cluster_spreads_concurrent_load():
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=11)
+    env.run(until=env.process(cluster.deploy(toy())))
+    results = []
+
+    def req():
+        outcome = yield from cluster.invoke("toy")
+        results.append(outcome)
+
+    jobs = [env.process(req()) for _ in range(4)]
+    env.run(until=env.all_of(jobs))
+    assert len(results) == 4
+    # Both workers served something.
+    assert len(cluster.balancer.stats.by_worker) == 2
+    cluster.shutdown()
+
+
+def test_cluster_requires_workers():
+    with pytest.raises(ValueError):
+        Cluster(Environment(), n_workers=0)
+
+
+def test_unknown_function_routes_to_least_loaded():
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=11)
+    env.run(until=env.process(cluster.deploy(toy())))
+
+    def failing():
+        with pytest.raises(KeyError):
+            yield from cluster.invoke("ghost")
+
+    env.run(until=env.process(failing()))
+    cluster.shutdown()

@@ -1,0 +1,106 @@
+"""Smoke tests for the experiment harness (fast, subset workloads).
+
+The full runs live in ``benchmarks/``; these keep the experiment code
+under ordinary unit-test coverage using one or two small functions.
+"""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import ExperimentResult, metrics_within
+
+FAST_SUBSET = ["helloworld", "pyaes"]
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
+        "fio", "hdd", "warm_background", "record_overhead",
+        "mispredictions", "fallback", "ablations", "remote_storage",
+        "tail_latency",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_table1_lists_catalog():
+    result = run_experiment("table1")
+    assert result.metrics["functions"] == 10
+
+
+def test_fig2_subset():
+    result = run_experiment("fig2", functions=FAST_SUBSET, repetitions=1)
+    assert len(result.rows) == 2
+    for row in result.rows:
+        assert row["cold_ms"] > row["warm_ms"] * 50
+
+
+def test_fig3_subset():
+    result = run_experiment("fig3", functions=FAST_SUBSET)
+    assert all(1.8 < row["mean_run_length"] < 3.2 for row in result.rows)
+
+
+def test_fig4_subset():
+    result = run_experiment("fig4", functions=FAST_SUBSET)
+    for row in result.rows:
+        assert row["restored_mb"] < row["booted_mb"] / 5
+
+
+def test_fig5_subset():
+    result = run_experiment("fig5", functions=FAST_SUBSET)
+    assert result.metrics["min_same_overall"] > 0.9
+
+
+def test_fig7_single_repetition():
+    result = run_experiment("fig7", repetitions=1)
+    assert result.metrics["monotonic_ladder"] == 1.0
+
+
+def test_fig8_subset():
+    result = run_experiment("fig8", functions=FAST_SUBSET, repetitions=1)
+    assert result.metrics["speedup_geomean"] > 3.0
+
+
+def test_fig9_small_levels():
+    result = run_experiment("fig9", levels=(1, 4))
+    assert result.metrics["reap_advantage_at_max"] > 2.0
+
+
+def test_record_overhead_subset():
+    result = run_experiment("record_overhead", functions=FAST_SUBSET)
+    assert 0.05 < result.metrics["overhead_mean"] < 0.6
+
+
+def test_mispredictions_subset():
+    result = run_experiment("mispredictions", functions=FAST_SUBSET)
+    assert result.metrics["mispredict_max"] < 0.10  # small-input functions
+
+
+def test_remote_storage_subset():
+    result = run_experiment("remote_storage", functions=("helloworld",))
+    assert (result.metrics["remote_speedup_geomean"]
+            > result.metrics["local_speedup_geomean"])
+
+
+def test_render_produces_readable_report():
+    result = run_experiment("fig3", functions=FAST_SUBSET)
+    text = result.render()
+    assert "fig3" in text
+    assert "helloworld" in text
+
+
+def test_metrics_within_helper():
+    result = ExperimentResult("x", "t", metrics={"a": 1.0})
+    assert metrics_within(result, {"a": (0.5, 2.0)}) == []
+    assert metrics_within(result, {"a": (2.0, 3.0)})
+    assert metrics_within(result, {"missing": (0.0, 1.0)})
+
+
+def test_experiments_deterministic():
+    first = run_experiment("fig8", functions=["helloworld"], repetitions=1)
+    second = run_experiment("fig8", functions=["helloworld"], repetitions=1)
+    assert first.rows == second.rows

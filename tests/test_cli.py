@@ -1,0 +1,23 @@
+"""Tests for the ``python -m repro.bench`` command-line interface."""
+
+from repro.bench.__main__ import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out
+    assert "table1" in out
+
+
+def test_cli_runs_single_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "helloworld" in out
+    assert "Table 1" in out
+
+
+def test_cli_seed_flag(capsys):
+    assert main(["fig3", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "mean_run_length" in out

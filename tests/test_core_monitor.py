@@ -1,0 +1,178 @@
+"""Direct tests of the REAP monitor goroutines (uffd serving loops)."""
+
+import pytest
+
+from repro.core.files import ReapArtifacts, TraceFile, WorkingSetFile
+from repro.core.monitor import PrefetchMonitor, RecordMonitor, UffdMonitor
+from repro.memory import BackingMode, ContentMode, GuestMemory, UserFaultFd
+from repro.sim import Environment
+from repro.sim.units import MIB, PAGE_SIZE
+from repro.vm import WorkerHost
+
+
+def make_world(content=ContentMode.METADATA, written_pages=range(64)):
+    env = Environment()
+    host = WorkerHost(env, seed=31)
+    memory_file = host.filesystem.create("mem", 1 * MIB,
+                                         device=host.snapshot_device)
+    for page in written_pages:
+        memory_file.write_block(page, bytes([page % 256]) * PAGE_SIZE)
+    memory = GuestMemory(1 * MIB, mode=BackingMode.UFFD, content=content,
+                         backing_file=memory_file)
+    uffd = UserFaultFd(env, memory)
+    return env, host, memory_file, memory, uffd
+
+
+def test_monitor_serves_written_page_with_disk_read():
+    env, host, memory_file, memory, uffd = make_world()
+    monitor = UffdMonitor(host, uffd, memory_file)
+    monitor.start()
+    woken = []
+
+    def vcpu():
+        wake = uffd.raise_fault(5)
+        yield wake
+        woken.append(env.now)
+
+    env.process(vcpu())
+    env.run(until=1_000_000)
+    monitor.stop()
+    env.run()
+    assert woken and woken[0] > 100  # paid a device read
+    assert memory.is_present(5)
+    assert monitor.demand_faults == 1
+    assert monitor.major_faults == 1
+    assert monitor.zero_faults == 0
+
+
+def test_monitor_zero_fills_holes_quickly():
+    env, host, memory_file, memory, uffd = make_world()
+    monitor = UffdMonitor(host, uffd, memory_file)
+    monitor.start()
+    woken = []
+
+    def vcpu():
+        wake = uffd.raise_fault(200)  # beyond written range: a hole
+        yield wake
+        woken.append(env.now)
+
+    env.process(vcpu())
+    env.run(until=1_000_000)
+    monitor.stop()
+    env.run()
+    assert woken and woken[0] < 100  # no disk involved
+    assert monitor.zero_faults == 1
+
+
+def test_monitor_content_integrity_in_full_mode():
+    env, host, memory_file, memory, uffd = make_world(ContentMode.FULL)
+    monitor = UffdMonitor(host, uffd, memory_file)
+    monitor.start()
+
+    def vcpu():
+        yield uffd.raise_fault(7)
+
+    proc = env.process(vcpu())
+    env.run(until=proc)
+    monitor.stop()
+    env.run()
+    assert memory.read_page(7) == bytes([7]) * PAGE_SIZE
+
+
+def test_monitor_extra_fault_cost_applied():
+    def serve_one(extra):
+        env, host, memory_file, memory, uffd = make_world()
+        monitor = UffdMonitor(host, uffd, memory_file,
+                              extra_fault_us=extra)
+        monitor.start()
+        done = []
+
+        def vcpu():
+            yield uffd.raise_fault(3)
+            done.append(env.now)
+
+        env.process(vcpu())
+        env.run(until=1_000_000)
+        monitor.stop()
+        env.run()
+        return done[0]
+
+    assert serve_one(500.0) == pytest.approx(serve_one(0.0) + 500.0)
+
+
+def test_monitor_stop_cancels_pending_read():
+    env, host, memory_file, memory, uffd = make_world()
+    monitor = UffdMonitor(host, uffd, memory_file)
+    monitor.start()
+    env.run(until=10)
+    assert monitor.running
+    monitor.stop()
+    env.run()
+    assert not monitor.running
+    # Events after stop stay queued rather than being consumed.
+    uffd.raise_fault(9)
+    env.run()
+    assert uffd.queued_events == 1
+
+
+def test_monitor_double_start_rejected():
+    env, host, memory_file, memory, uffd = make_world()
+    monitor = UffdMonitor(host, uffd, memory_file)
+    monitor.start()
+    with pytest.raises(RuntimeError):
+        monitor.start()
+    monitor.stop()
+    env.run()
+
+
+def test_record_monitor_finalize_produces_matching_artifacts():
+    env, host, memory_file, memory, uffd = make_world(ContentMode.FULL)
+    monitor = RecordMonitor(host, uffd, memory_file,
+                            artifact_prefix="reap/test")
+    monitor.start()
+
+    def vcpu():
+        for page in (9, 3, 27):
+            yield uffd.raise_fault(page)
+
+    proc = env.process(vcpu())
+    env.run(until=proc)
+    monitor.stop()
+    finalize = env.process(monitor.finalize())
+    artifacts = env.run(until=finalize)
+    assert artifacts.trace.pages == (9, 3, 27)
+    assert artifacts.working_set.verify_against(memory_file)
+    # Loadable from disk content alone.
+    assert TraceFile.load(artifacts.trace.file).pages == (9, 3, 27)
+
+
+def test_record_monitor_finalize_without_faults_rejected():
+    env, host, memory_file, memory, uffd = make_world()
+    monitor = RecordMonitor(host, uffd, memory_file,
+                            artifact_prefix="reap/none")
+
+    def body():
+        with pytest.raises(RuntimeError):
+            yield from monitor.finalize()
+
+    env.run(until=env.process(body()))
+
+
+def test_prefetch_monitor_counts_residual_faults():
+    env, host, memory_file, memory, uffd = make_world()
+    trace = TraceFile.create(host.filesystem, "t", (1, 2, 3))
+    ws = WorkingSetFile.build(host.filesystem, "w", (1, 2, 3), memory_file,
+                              content=ContentMode.METADATA)
+    artifacts = ReapArtifacts(trace=trace, working_set=ws)
+    monitor = PrefetchMonitor(host, uffd, memory_file, artifacts)
+    monitor.start()
+    uffd.copy_batch([1, 2, 3])
+
+    def vcpu():
+        yield uffd.raise_fault(40)  # outside the recorded set
+
+    proc = env.process(vcpu())
+    env.run(until=proc)
+    monitor.stop()
+    env.run()
+    assert monitor.demand_faults == 1

@@ -1,0 +1,170 @@
+"""Edge-case coverage across the stack."""
+
+import pytest
+
+from repro.core.context import LatencyBreakdown
+from repro.functions import FunctionBehavior, FunctionProfile
+from repro.memory.working_set import contiguous_runs
+from repro.sim import AnyOf, Environment, SimulationError
+from repro.sim.units import KIB, MIB
+from repro.storage import IoRequest, SsdDevice
+from repro.storage.device import DeviceStats, ReadKind
+from repro.storage.fio import FioResult
+from repro.vm import WorkerHost
+
+
+# -- workload generation -------------------------------------------------------
+
+def test_dense_region_placement_falls_back_to_linear_sweep():
+    """With ~94 % footprint occupancy, random placement must still finish."""
+    profile = FunctionProfile(
+        name="dense",
+        description="nearly full footprint",
+        vm_memory_mb=8,
+        boot_footprint_mb=1.0,
+        warm_ms=1.0,
+        connection_pages=40,
+        processing_pages=200,
+        unique_pages=0,
+        contiguity_mean=2.0,
+    )
+    behavior = FunctionBehavior(profile, seed=3)
+    pages = behavior.layout.stable_page_set
+    assert len(pages) == 240
+    assert max(pages) < profile.boot_footprint_pages
+
+
+def test_full_divergence_replaces_whole_processing_set():
+    profile = FunctionProfile(
+        name="diverge",
+        description="completely unstable",
+        vm_memory_mb=16,
+        boot_footprint_mb=4.0,
+        warm_ms=1.0,
+        connection_pages=50,
+        processing_pages=100,
+        unique_pages=0,
+        contiguity_mean=2.0,
+        record_divergence=1.0,
+    )
+    behavior = FunctionBehavior(profile, seed=3)
+    record = set(behavior.trace_for(0, record=True).processing_pages)
+    replay = set(behavior.trace_for(1).processing_pages)
+    assert record.isdisjoint(replay)
+
+
+def test_contiguity_mean_one_gives_singleton_runs():
+    profile = FunctionProfile(
+        name="single",
+        description="no contiguity",
+        vm_memory_mb=64,
+        boot_footprint_mb=32.0,
+        warm_ms=1.0,
+        connection_pages=100,
+        processing_pages=100,
+        unique_pages=0,
+        contiguity_mean=1.0,
+    )
+    behavior = FunctionBehavior(profile, seed=3)
+    runs = contiguous_runs(behavior.layout.stable_page_set)
+    # Spatial merging can occasionally glue two singletons together, but
+    # the overwhelming majority must be length-1 runs.
+    singletons = sum(1 for _start, length in runs if length == 1)
+    assert singletons / len(runs) > 0.95
+
+
+def test_zero_unique_pages_profile():
+    profile = FunctionProfile(
+        name="nouniq",
+        description="fully stable",
+        vm_memory_mb=16,
+        boot_footprint_mb=4.0,
+        warm_ms=1.0,
+        connection_pages=50,
+        processing_pages=100,
+        unique_pages=0,
+        contiguity_mean=2.0,
+    )
+    behavior = FunctionBehavior(profile, seed=3)
+    assert behavior.trace_for(1).page_set == behavior.trace_for(2).page_set
+    assert profile.unique_fraction == 0.0
+
+
+# -- storage / stats -------------------------------------------------------------
+
+def test_device_stats_snapshot_and_delta():
+    stats = DeviceStats()
+    request = IoRequest(lba=0, nbytes=4 * KIB, kind=ReadKind.BUFFERED)
+    stats.record(request, now=10.0)
+    earlier = stats.snapshot()
+    stats.record(request, now=20.0)
+    assert stats.delta_read_bytes(earlier) == 4 * KIB
+    assert earlier.read_requests == 1
+    assert stats.read_requests == 2
+    assert stats.bytes_by_kind[ReadKind.BUFFERED] == 8 * KIB
+
+
+def test_device_stats_bandwidth_guards():
+    stats = DeviceStats()
+    assert stats.effective_read_mbps(0.0) == 0.0
+    stats.record(IoRequest(lba=0, nbytes=1_000_000), now=1.0)
+    assert stats.effective_read_mbps(1_000_000.0) == pytest.approx(1.0)
+
+
+def test_fio_result_properties():
+    result = FioResult(total_bytes=8 * MIB, elapsed_us=10_000.0, requests=4)
+    # Bandwidth reports decimal MB/s, as fio and the paper do.
+    assert result.bandwidth_mbps == pytest.approx(8 * MIB / 1e6 / 0.01)
+    assert result.mean_latency_us == pytest.approx(2500.0)
+    empty = FioResult(total_bytes=0, elapsed_us=0.0, requests=0)
+    assert empty.bandwidth_mbps == 0.0
+    assert empty.mean_latency_us == 0.0
+
+
+def test_write_request_accounting():
+    env = Environment()
+    ssd = SsdDevice(env)
+    proc = env.process(ssd.write(IoRequest(lba=0, nbytes=4 * KIB,
+                                           kind=ReadKind.WRITE)))
+    env.run(until=proc)
+    assert ssd.stats.write_requests == 1
+    assert ssd.stats.write_bytes == 4 * KIB
+    assert ssd.stats.read_requests == 0
+
+
+# -- host helpers ----------------------------------------------------------------
+
+def test_s3_fetch_zero_bytes_is_free():
+    host = WorkerHost(Environment())
+    assert host.s3_fetch_us(0) == 0.0
+    assert host.s3_fetch_us(-5) == 0.0
+    assert host.s3_fetch_us(1_000_000) > 1_500.0
+
+
+def test_install_batch_cost_scales_with_runs_and_bytes():
+    host = WorkerHost(Environment())
+    few_runs = host.install_batch_us(runs=10, nbytes=1 * MIB)
+    many_runs = host.install_batch_us(runs=1000, nbytes=1 * MIB)
+    bigger = host.install_batch_us(runs=10, nbytes=16 * MIB)
+    assert many_runs > few_runs
+    assert bigger > few_runs
+
+
+# -- breakdown -------------------------------------------------------------------
+
+def test_breakdown_merge_counters():
+    first = LatencyBreakdown(demand_faults=3, major_faults=2,
+                             prefetched_pages=10, unused_prefetched=1)
+    second = LatencyBreakdown(demand_faults=4, zero_faults=5)
+    first.merge_counters(second)
+    assert first.demand_faults == 7
+    assert first.zero_faults == 5
+    assert first.prefetched_pages == 10
+
+
+# -- sim engine ------------------------------------------------------------------
+
+def test_anyof_requires_events():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        AnyOf(env, [])

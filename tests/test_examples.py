@@ -1,0 +1,33 @@
+"""Smoke tests: the example scripts must keep running.
+
+The three fastest examples execute in-process; the heavier sweeps
+(reap_sweep, scalability_study, multi_tenant_cluster) are exercised by
+the benchmark suite's equivalent experiments.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "characterize_workloads.py",
+    "custom_function.py",
+])
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr("sys.argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_quickstart_reports_speedup(capsys, monkeypatch):
+    monkeypatch.setattr("sys.argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "REAP speeds up this cold start" in out
+    assert "faults eliminated" in out

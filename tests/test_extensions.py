@@ -1,0 +1,142 @@
+"""Tests for the extension features: remote storage and snapshot refresh."""
+
+import pytest
+
+from repro.bench.harness import Testbed
+from repro.functions import FunctionProfile
+from repro.sim import Environment
+from repro.storage import (
+    IoRequest,
+    RemoteDevice,
+    RemoteStorageParameters,
+    SsdDevice,
+)
+from repro.sim.units import KIB, MIB
+from repro.vm import WorkerHost
+
+
+def small(name="small"):
+    return FunctionProfile(
+        name=name,
+        description="extension-test function",
+        vm_memory_mb=32,
+        boot_footprint_mb=8.0,
+        warm_ms=4.0,
+        connection_pages=100,
+        processing_pages=200,
+        unique_pages=20,
+        contiguity_mean=2.4,
+    )
+
+
+# -- remote device unit behaviour -------------------------------------------
+
+def run_read(env, device, request):
+    proc = env.process(device.read(request))
+    env.run(until=proc)
+    return env.now
+
+
+def test_remote_read_adds_round_trip():
+    env = Environment()
+    local = SsdDevice(env)
+    local_time = run_read(env, local, IoRequest(lba=0, nbytes=4 * KIB))
+
+    env2 = Environment()
+    params = RemoteStorageParameters(network_latency_us=250.0,
+                                     service_overhead_us=120.0)
+    remote = RemoteDevice(env2, SsdDevice(env2), params)
+    remote_time = run_read(env2, remote, IoRequest(lba=0, nbytes=4 * KIB))
+    # Two one-way latencies + service overhead + payload transfer.
+    assert remote_time > local_time + 2 * 250 + 120
+
+
+def test_remote_large_read_bandwidth_limited():
+    env = Environment()
+    params = RemoteStorageParameters(network_bandwidth_mbps=100.0,
+                                     network_latency_us=0.0,
+                                     service_overhead_us=0.0)
+    remote = RemoteDevice(env, SsdDevice(env), params)
+    elapsed = run_read(env, remote, IoRequest(lba=0, nbytes=8 * MIB))
+    # 8 MiB at 100 MB/s network >= ~84 ms even though the SSD is faster.
+    assert elapsed > 80_000
+
+
+def test_remote_link_shared_between_requests():
+    env = Environment()
+    params = RemoteStorageParameters(network_bandwidth_mbps=100.0,
+                                     network_latency_us=0.0,
+                                     service_overhead_us=0.0)
+    remote = RemoteDevice(env, SsdDevice(env), params)
+    done = []
+
+    def reader():
+        yield from remote.read(IoRequest(lba=0, nbytes=4 * MIB))
+        done.append(env.now)
+
+    env.process(reader())
+    env.process(reader())
+    env.run()
+    # The second transfer queues behind the first on the shared link.
+    assert done[1] > done[0] * 1.5
+
+
+def test_worker_host_remote_storage_kind():
+    env = Environment()
+    host = WorkerHost(env, storage="remote")
+    assert host.storage_kind == "remote"
+    assert host.snapshot_device is host.device
+    with pytest.raises(ValueError):
+        WorkerHost(Environment(), storage="floppy")
+
+
+def test_remote_cold_start_slower_but_reap_still_wins():
+    local = Testbed(seed=17)
+    remote = Testbed(seed=17, storage="remote")
+    for testbed in (local, remote):
+        testbed.deploy(small())
+    local_cold = local.invoke("small", mode="vanilla")
+    remote_cold = remote.invoke("small", mode="vanilla")
+    assert remote_cold.latency_ms > local_cold.latency_ms
+    remote.invoke("small")  # record
+    remote_reap = remote.invoke("small")
+    assert remote_reap.latency_ms < remote_cold.latency_ms / 2
+
+
+# -- §7.3 snapshot refresh -----------------------------------------------------
+
+def test_refresh_snapshot_changes_layout_epoch():
+    testbed = Testbed(seed=17)
+    testbed.deploy(small())
+    entry = testbed.orchestrator.function("small")
+    old_snapshot = entry.snapshot
+    old_layout = entry.behavior.layout
+    testbed.run(testbed.orchestrator.refresh_snapshot("small"))
+    assert entry.behavior.epoch == 1
+    assert entry.behavior.layout != old_layout
+    assert entry.snapshot is not old_snapshot
+
+
+def test_refresh_invalidates_reap_artifacts():
+    testbed = Testbed(seed=17)
+    testbed.deploy(small())
+    testbed.invoke("small")  # record
+    state = testbed.orchestrator.reap.state_for("small")
+    assert state.artifacts is not None
+    testbed.run(testbed.orchestrator.refresh_snapshot("small"))
+    assert state.artifacts is None
+    # Next cold invocation records against the new layout, then REAP
+    # works again.
+    first = testbed.invoke("small")
+    second = testbed.invoke("small")
+    assert first.mode == "record"
+    assert second.mode == "reap"
+
+
+def test_refresh_preserves_invocation_counter():
+    testbed = Testbed(seed=17)
+    testbed.deploy(small())
+    testbed.invoke("small", mode="vanilla")
+    testbed.run(testbed.orchestrator.refresh_snapshot("small"))
+    result = testbed.invoke("small", mode="vanilla")
+    assert result.invocation == 1

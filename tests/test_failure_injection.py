@@ -1,0 +1,88 @@
+"""Failure injection: corrupted artifacts, torn-down monitors, bad input."""
+
+import pytest
+
+from repro.bench.harness import Testbed
+from repro.core.files import ArtifactFormatError, TraceFile
+from repro.functions import FunctionProfile
+
+
+def small(name="victim"):
+    return FunctionProfile(
+        name=name,
+        description="failure-injection function",
+        vm_memory_mb=32,
+        boot_footprint_mb=8.0,
+        warm_ms=4.0,
+        connection_pages=100,
+        processing_pages=200,
+        unique_pages=20,
+        contiguity_mean=2.4,
+    )
+
+
+def corrupt_trace(testbed, name):
+    state = testbed.orchestrator.reap.state_for(name)
+    trace_file = state.artifacts.trace.file
+    trace_file.write(0, b"GARBAGE!")
+    return state
+
+
+def test_corrupt_trace_file_detected_on_load():
+    testbed = Testbed(seed=23)
+    testbed.deploy(small())
+    testbed.invoke("victim")  # record
+    state = corrupt_trace(testbed, "victim")
+    with pytest.raises(ArtifactFormatError):
+        TraceFile.load(state.artifacts.trace.file)
+
+
+def test_corrupt_artifacts_degrade_gracefully():
+    """A corrupted trace must not break invocations -- only slow them."""
+    testbed = Testbed(seed=23)
+    testbed.deploy(small())
+    testbed.invoke("victim")           # record
+    good = testbed.invoke("victim")    # healthy REAP
+    corrupt_trace(testbed, "victim")
+    degraded = testbed.invoke("victim")
+    # The invocation completed, flagged the corruption, served everything
+    # via demand faults, and dropped the stale artifacts.
+    assert degraded.breakdown.extra.get("artifact_error") == 1.0
+    assert degraded.breakdown.demand_faults > 10 * good.breakdown.demand_faults
+    assert testbed.orchestrator.reap.state_for("victim").artifacts is None
+    # Recovery: the next cold start re-records, then REAP works again.
+    re_record = testbed.invoke("victim")
+    recovered = testbed.invoke("victim")
+    assert re_record.mode == "record"
+    assert recovered.mode == "reap"
+    assert recovered.latency_ms == pytest.approx(good.latency_ms, rel=0.2)
+
+
+def test_corrupt_ws_checksum_variant():
+    """Corruption inside the offsets payload is caught by the checksum."""
+    testbed = Testbed(seed=23)
+    testbed.deploy(small())
+    testbed.invoke("victim")
+    state = testbed.orchestrator.reap.state_for("victim")
+    trace_file = state.artifacts.trace.file
+    payload = trace_file.read(24, 8)
+    trace_file.write(24, bytes([payload[0] ^ 1]) + payload[1:])
+    degraded = testbed.invoke("victim")
+    assert degraded.breakdown.extra.get("artifact_error") == 1.0
+
+
+def test_invalid_invoke_mode_rejected():
+    testbed = Testbed(seed=23)
+    testbed.deploy(small())
+    with pytest.raises(KeyError):
+        testbed.invoke("victim", mode="telepathy")
+
+
+def test_evicting_midstream_function_is_safe():
+    testbed = Testbed(seed=23)
+    testbed.deploy(small())
+    testbed.invoke("victim", keep_warm=True)      # record, kept warm
+    testbed.orchestrator.evict_warm("victim")
+    # Cold path still healthy after eviction tore the monitor down.
+    result = testbed.invoke("victim")
+    assert result.mode == "reap"

@@ -1,0 +1,156 @@
+"""Cross-stack integration tests: the paper's key claims end to end.
+
+These run the real pipeline (deploy -> snapshot -> cold restore under
+each policy -> REAP) on scaled-down functions and assert the paper's
+§4-§6 findings qualitatively, plus byte-exact content integrity in
+full-content mode.
+"""
+
+import pytest
+
+from repro.bench.harness import Testbed
+from repro.functions import FunctionProfile, get_profile
+from repro.memory import ContentMode
+from repro.memory.working_set import mean_run_length, reuse_between
+
+
+def small(name="small", **overrides):
+    defaults = dict(
+        name=name,
+        description="integration function",
+        vm_memory_mb=64,
+        boot_footprint_mb=16.0,
+        warm_ms=5.0,
+        connection_pages=200,
+        processing_pages=400,
+        unique_pages=30,
+        contiguity_mean=2.4,
+    )
+    defaults.update(overrides)
+    return FunctionProfile(**defaults)
+
+
+def test_cold_much_slower_than_warm():
+    testbed = Testbed(seed=21)
+    testbed.deploy(small())
+    cold = testbed.invoke("small", mode="vanilla", keep_warm=True)
+    warm = testbed.invoke("small")
+    assert cold.latency_ms / warm.latency_ms > 10
+
+
+def test_reap_speedup_on_catalog_function():
+    testbed = Testbed(seed=21)
+    testbed.deploy(get_profile("helloworld"))
+    cold = testbed.invoke("helloworld", mode="vanilla")
+    testbed.invoke("helloworld")  # record
+    reap = testbed.invoke("helloworld")
+    assert 3.0 < cold.latency_ms / reap.latency_ms < 5.0
+
+
+def test_reap_connection_restoration_shrinks():
+    testbed = Testbed(seed=21)
+    testbed.deploy(get_profile("helloworld"))
+    cold = testbed.invoke("helloworld", mode="vanilla")
+    testbed.invoke("helloworld")
+    reap = testbed.invoke("helloworld")
+    shrink = (cold.breakdown.connection_us
+              / max(reap.breakdown.connection_us, 1.0))
+    # Paper: ~45x on average, to 4-7 ms.
+    assert shrink > 15
+    assert reap.breakdown.connection_us / 1000.0 < 8.0
+
+
+def test_reap_eliminates_97_percent_of_faults():
+    testbed = Testbed(seed=21)
+    testbed.deploy(get_profile("helloworld"))
+    cold = testbed.invoke("helloworld", mode="vanilla")
+    testbed.invoke("helloworld")
+    reap = testbed.invoke("helloworld")
+    eliminated = 1 - reap.breakdown.demand_faults / cold.breakdown.demand_faults
+    assert eliminated > 0.9
+
+
+def test_working_set_stable_across_invocations():
+    testbed = Testbed(seed=21)
+    testbed.deploy(small())
+    first = testbed.invoke("small", mode="vanilla")
+    second = testbed.invoke("small", mode="vanilla")
+    stats = reuse_between(first.trace.page_set, second.trace.page_set)
+    assert stats.same_fraction > 0.9
+
+
+def test_contiguity_matches_profile():
+    testbed = Testbed(seed=21)
+    # Generous footprint keeps run placement sparse, so spatially
+    # adjacent runs rarely merge and the designed mean is observable.
+    profile = small(contiguity_mean=2.5, unique_pages=0,
+                    connection_pages=600, processing_pages=1200,
+                    boot_footprint_mb=48.0)
+    testbed.deploy(profile)
+    result = testbed.invoke("small", mode="vanilla")
+    observed = mean_run_length(result.trace.page_set)
+    assert 2.0 <= observed <= 3.1
+
+
+def test_full_content_integrity_through_whole_pipeline():
+    """Boot -> snapshot -> record -> WS file -> prefetch, byte-exact."""
+    testbed = Testbed(seed=21, content=ContentMode.FULL)
+    profile = small(boot_footprint_mb=4.0, connection_pages=60,
+                    processing_pages=120, unique_pages=10, vm_memory_mb=32)
+    testbed.deploy(profile)
+    testbed.invoke("small")  # record
+    result = testbed.invoke("small", keep_warm=True)
+    assert result.mode == "reap"
+    vm = testbed.orchestrator.function("small").warm[0].vm
+    snapshot = testbed.orchestrator.function("small").snapshot
+    checked = 0
+    for page in result.trace.pages:
+        if page < profile.boot_footprint_pages:
+            assert vm.memory.read_page(page) == \
+                snapshot.memory_file.read_block(page)
+            checked += 1
+    assert checked > 100
+
+
+def test_snapshot_restore_footprint_far_below_boot():
+    testbed = Testbed(seed=21)
+    profile = get_profile("pyaes")
+    testbed.deploy(profile)
+    testbed.invoke("pyaes", mode="vanilla", keep_warm=True)
+    vm = testbed.orchestrator.function("pyaes").warm[0].vm
+    restored_mb = vm.memory.resident_bytes / 1e6
+    assert restored_mb < 0.25 * profile.boot_footprint_mb
+
+
+def test_multiple_functions_coexist():
+    testbed = Testbed(seed=21)
+    names = ["helloworld", "pyaes", "chameleon"]
+    for name in names:
+        testbed.deploy(get_profile(name))
+    for name in names:
+        testbed.invoke(name)          # record
+    results = {name: testbed.invoke(name) for name in names}
+    assert all(result.mode == "reap" for result in results.values())
+    # Each function keeps its own artifacts and working-set size.
+    sizes = {name: testbed.orchestrator.reap.state_for(name)
+             .artifacts.working_set.payload_bytes for name in names}
+    assert sizes["chameleon"] > sizes["helloworld"]
+
+
+def test_record_invocation_slower_than_vanilla_but_bounded():
+    testbed = Testbed(seed=21)
+    testbed.deploy(get_profile("helloworld"))
+    vanilla = testbed.invoke("helloworld", mode="vanilla")
+    record = testbed.invoke("helloworld", mode="record")
+    overhead = record.latency_ms / vanilla.latency_ms - 1
+    assert 0.05 < overhead < 0.9
+
+
+def test_hdd_testbed_changes_storage_only():
+    ssd = Testbed(seed=21)
+    hdd = Testbed(seed=21, storage="hdd")
+    ssd.deploy(small())
+    hdd.deploy(small())
+    ssd_cold = ssd.invoke("small", mode="vanilla")
+    hdd_cold = hdd.invoke("small", mode="vanilla")
+    assert hdd_cold.latency_ms > 5 * ssd_cold.latency_ms

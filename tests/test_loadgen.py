@@ -1,0 +1,113 @@
+"""Tests for the client load generator (§3.3)."""
+
+import pytest
+
+from repro.bench.harness import Testbed
+from repro.functions import FunctionProfile
+from repro.orchestrator import (
+    Autoscaler,
+    AutoscalerParameters,
+    LoadGenerator,
+    LoadStats,
+    TrafficSpec,
+)
+from repro.orchestrator.loadgen import LatencySample
+
+
+def toy(name="toy"):
+    return FunctionProfile(
+        name=name,
+        description="toy",
+        vm_memory_mb=32,
+        boot_footprint_mb=6.0,
+        warm_ms=4.0,
+        connection_pages=50,
+        processing_pages=120,
+        unique_pages=10,
+        contiguity_mean=2.4,
+    )
+
+
+def test_traffic_spec_validation():
+    with pytest.raises(ValueError):
+        TrafficSpec("f", mean_interarrival_s=0.0)
+    with pytest.raises(ValueError):
+        TrafficSpec("f", mean_interarrival_s=1.0, requests=0)
+
+
+def test_load_stats_percentiles():
+    stats = LoadStats(samples=[
+        LatencySample("f", 0.0, latency_ms=float(value), mode="warm")
+        for value in range(1, 101)])
+    assert stats.percentile(0.5) == 50.0
+    assert stats.percentile(0.99) == 99.0
+    assert stats.percentile(1.0) == 100.0
+    assert stats.mean_ms == pytest.approx(50.5)
+    with pytest.raises(ValueError):
+        stats.percentile(0.0)
+    with pytest.raises(ValueError):
+        LoadStats().percentile(0.5)
+
+
+def test_load_stats_cold_fraction_and_modes():
+    stats = LoadStats(samples=[
+        LatencySample("f", 0.0, 1.0, "warm"),
+        LatencySample("f", 0.0, 100.0, "vanilla"),
+        LatencySample("f", 0.0, 60.0, "reap"),
+    ])
+    assert stats.cold_fraction == pytest.approx(2 / 3)
+    assert stats.by_mode() == {"warm": 1, "vanilla": 1, "reap": 1}
+
+
+def test_generator_issues_all_requests():
+    testbed = Testbed(seed=19)
+    testbed.deploy(toy())
+    scaler = Autoscaler(testbed.orchestrator,
+                        AutoscalerParameters(keepalive_s=600.0))
+    generator = LoadGenerator(
+        testbed.env, scaler,
+        [TrafficSpec("toy", mean_interarrival_s=1.0, requests=12)],
+        seed=19)
+    stats = testbed.run(generator.run())
+    scaler.stop()
+    assert len(stats["toy"].samples) == 12
+    # Long keepalive: only the first request is cold.
+    assert stats["toy"].by_mode().get("warm", 0) == 11
+
+
+def test_generator_requires_specs():
+    testbed = Testbed(seed=19)
+    with pytest.raises(ValueError):
+        LoadGenerator(testbed.env, None, [], seed=1)
+
+
+def test_sporadic_traffic_mostly_cold():
+    testbed = Testbed(seed=19)
+    testbed.deploy(toy())
+    scaler = Autoscaler(testbed.orchestrator,
+                        AutoscalerParameters(keepalive_s=5.0,
+                                             scan_period_s=2.0))
+    generator = LoadGenerator(
+        testbed.env, scaler,
+        [TrafficSpec("toy", mean_interarrival_s=60.0, requests=10)],
+        seed=19)
+    stats = testbed.run(generator.run())
+    scaler.stop()
+    assert stats["toy"].cold_fraction > 0.5
+
+
+def test_generator_deterministic():
+    def run():
+        testbed = Testbed(seed=19)
+        testbed.deploy(toy())
+        scaler = Autoscaler(testbed.orchestrator)
+        generator = LoadGenerator(
+            testbed.env, scaler,
+            [TrafficSpec("toy", mean_interarrival_s=2.0, requests=8)],
+            seed=19)
+        stats = testbed.run(generator.run())
+        scaler.stop()
+        return [(s.issued_at, s.latency_ms, s.mode)
+                for s in stats["toy"].samples]
+
+    assert run() == run()

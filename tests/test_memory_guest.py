@@ -1,0 +1,98 @@
+"""Tests for guest memory regions and content integrity."""
+
+import pytest
+
+from repro.memory import BackingMode, ContentMode, GuestMemory
+from repro.memory.guest import MemoryIntegrityError
+from repro.sim import Environment
+from repro.sim.units import MIB, PAGE_SIZE
+from repro.storage import Filesystem, SsdDevice
+
+
+def make_backing(size=1 * MIB):
+    env = Environment()
+    fs = Filesystem(SsdDevice(env))
+    return fs.create("memfile", size)
+
+
+def test_size_must_be_page_multiple():
+    with pytest.raises(ValueError):
+        GuestMemory(PAGE_SIZE + 1)
+    with pytest.raises(ValueError):
+        GuestMemory(0)
+
+
+def test_lazy_modes_require_backing_file():
+    with pytest.raises(ValueError):
+        GuestMemory(1 * MIB, mode=BackingMode.FILE_LAZY)
+    with pytest.raises(ValueError):
+        GuestMemory(1 * MIB, mode=BackingMode.UFFD)
+
+
+def test_install_marks_present_and_orders():
+    memory = GuestMemory(1 * MIB)
+    memory.install(5)
+    memory.install(2)
+    memory.install(5)  # repeat is a no-op
+    assert memory.is_present(5)
+    assert memory.is_present(2)
+    assert memory.faulted_pages() == [5, 2]
+    assert memory.present_pages == 2
+    assert memory.resident_bytes == 2 * PAGE_SIZE
+
+
+def test_install_out_of_range_rejected():
+    memory = GuestMemory(1 * MIB)
+    with pytest.raises(ValueError):
+        memory.install(memory.page_count)
+    with pytest.raises(ValueError):
+        memory.install(-1)
+
+
+def test_full_content_pulls_bytes_from_backing():
+    backing = make_backing()
+    payload = bytes([0xAB]) * PAGE_SIZE
+    backing.write_block(3, payload)
+    memory = GuestMemory(backing.size, mode=BackingMode.FILE_LAZY,
+                         content=ContentMode.FULL, backing_file=backing)
+    memory.install(3)
+    assert memory.read_page(3) == payload
+
+
+def test_full_content_verifies_installed_bytes():
+    backing = make_backing()
+    backing.write_block(0, bytes([1]) * PAGE_SIZE)
+    memory = GuestMemory(backing.size, mode=BackingMode.UFFD,
+                         content=ContentMode.FULL, backing_file=backing)
+    with pytest.raises(MemoryIntegrityError):
+        memory.install(0, bytes([2]) * PAGE_SIZE)
+    # Correct bytes install fine.
+    memory.install(0, bytes([1]) * PAGE_SIZE)
+    assert memory.is_present(0)
+
+
+def test_metadata_mode_does_not_track_content():
+    memory = GuestMemory(1 * MIB)
+    memory.install(0)
+    with pytest.raises(RuntimeError):
+        memory.read_page(0)
+
+
+def test_write_page_requires_presence():
+    backing = make_backing()
+    memory = GuestMemory(backing.size, mode=BackingMode.FILE_LAZY,
+                         content=ContentMode.FULL, backing_file=backing)
+    with pytest.raises(RuntimeError):
+        memory.write_page(0, bytes(PAGE_SIZE))
+    memory.install(0)
+    new_bytes = bytes([9]) * PAGE_SIZE
+    memory.write_page(0, new_bytes)
+    assert memory.read_page(0) == new_bytes
+
+
+def test_populate_all_and_populate():
+    memory = GuestMemory(16 * PAGE_SIZE)
+    memory.populate([1, 3, 5])
+    assert memory.present_pages == 3
+    memory.populate_all()
+    assert memory.present_pages == 16

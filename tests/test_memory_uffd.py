@@ -1,0 +1,135 @@
+"""Tests for the simulated userfaultfd protocol."""
+
+import pytest
+
+from repro.memory import BackingMode, ContentMode, GuestMemory, UserFaultFd
+from repro.memory.uffd import UffdError
+from repro.sim import Environment
+from repro.sim.units import MIB, PAGE_SIZE
+from repro.storage import Filesystem, SsdDevice
+
+
+def make_uffd(content=ContentMode.METADATA):
+    env = Environment()
+    fs = Filesystem(SsdDevice(env))
+    backing = fs.create("mem", 1 * MIB)
+    memory = GuestMemory(backing.size, mode=BackingMode.UFFD,
+                         content=content, backing_file=backing)
+    return env, backing, memory, UserFaultFd(env, memory)
+
+
+def test_fault_blocks_until_monitor_copies():
+    env, _backing, memory, uffd = make_uffd()
+    resumed = []
+
+    def vcpu():
+        wake = uffd.raise_fault(7)
+        yield wake
+        resumed.append(env.now)
+
+    def monitor():
+        event = yield uffd.read_event()
+        assert event.page == 7
+        yield env.timeout(50)
+        uffd.copy(event.page)
+
+    env.process(vcpu())
+    env.process(monitor())
+    env.run()
+    assert resumed == [50]
+    assert memory.is_present(7)
+    assert uffd.pages_copied == 1
+
+
+def test_fault_on_present_page_fires_immediately():
+    env, _backing, memory, uffd = make_uffd()
+    memory.install(3)
+    wake = uffd.raise_fault(3)
+    assert wake.triggered
+    assert uffd.faults_raised == 0
+
+
+def test_double_fault_coalesces_to_one_event():
+    env, _backing, _memory, uffd = make_uffd()
+    woken = []
+
+    def toucher(tag):
+        wake = uffd.raise_fault(9)
+        yield wake
+        woken.append(tag)
+
+    def monitor():
+        event = yield uffd.read_event()
+        yield env.timeout(10)
+        uffd.copy(event.page)
+
+    env.process(toucher("a"))
+    env.process(toucher("b"))
+    env.process(monitor())
+    env.run()
+    assert sorted(woken) == ["a", "b"]
+    assert uffd.faults_raised == 2
+    assert uffd.queued_events == 0
+
+
+def test_copy_batch_skips_present_pages():
+    env, _backing, memory, uffd = make_uffd()
+    memory.install(1)
+    installed = uffd.copy_batch([0, 1, 2])
+    assert installed == 2
+    assert memory.present_pages == 3
+
+
+def test_copy_batch_wakes_waiting_faulters():
+    env, _backing, _memory, uffd = make_uffd()
+    woken = []
+
+    def vcpu():
+        wake = uffd.raise_fault(4)
+        yield wake
+        woken.append(env.now)
+
+    def monitor():
+        yield env.timeout(25)
+        uffd.copy_batch([3, 4, 5])
+
+    env.process(vcpu())
+    env.process(monitor())
+    env.run()
+    assert woken == [25]
+
+
+def test_copy_carries_content_in_full_mode():
+    env, backing, memory, uffd = make_uffd(ContentMode.FULL)
+    payload = bytes([0x42]) * PAGE_SIZE
+    backing.write_block(2, payload)
+    uffd.copy(2, payload)
+    assert memory.read_page(2) == payload
+
+
+def test_zeropage_installs_zeros():
+    env, _backing, memory, uffd = make_uffd(ContentMode.FULL)
+    uffd.zeropage(11)
+    assert memory.read_page(11) == bytes(PAGE_SIZE)
+
+
+def test_closed_uffd_rejects_operations():
+    env, _backing, _memory, uffd = make_uffd()
+    uffd.close()
+    with pytest.raises(UffdError):
+        uffd.raise_fault(0)
+    with pytest.raises(UffdError):
+        uffd.copy(0)
+
+
+def test_monitor_event_queue_counts():
+    env, _backing, _memory, uffd = make_uffd()
+
+    def vcpu(page):
+        wake = uffd.raise_fault(page)
+        yield wake
+
+    env.process(vcpu(1))
+    env.process(vcpu(2))
+    env.run(until=0)
+    assert uffd.queued_events == 2

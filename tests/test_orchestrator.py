@@ -1,0 +1,174 @@
+"""Tests for the vHive-CRI orchestrator: routing, phases, warm pool."""
+
+import pytest
+
+from repro.functions import FunctionProfile, get_profile
+from repro.memory import ContentMode
+from repro.orchestrator import Orchestrator
+from repro.sim import Environment, MS
+from repro.vm import VmState, WorkerHost
+
+
+def toy(**overrides):
+    defaults = dict(
+        name="toy",
+        description="toy",
+        vm_memory_mb=32,
+        boot_footprint_mb=6.0,
+        warm_ms=4.0,
+        connection_pages=50,
+        processing_pages=120,
+        unique_pages=15,
+        contiguity_mean=2.4,
+        input_mb=0.5,
+    )
+    defaults.update(overrides)
+    return FunctionProfile(**defaults)
+
+
+def make(profile=None):
+    env = Environment()
+    host = WorkerHost(env, seed=5)
+    orch = Orchestrator(host, seed=5, content=ContentMode.METADATA)
+    if profile is not None:
+        env.run(until=env.process(orch.deploy(profile)))
+    return env, host, orch
+
+
+def invoke(env, orch, name, **kwargs):
+    return env.run(until=env.process(orch.invoke(name, **kwargs)))
+
+
+def test_deploy_registers_and_snapshots():
+    env, host, orch = make(toy())
+    entry = orch.function("toy")
+    assert entry.snapshot is not None
+    assert entry.invocations == 0
+    assert orch.deployed_names() == ["toy"]
+
+
+def test_duplicate_deploy_rejected():
+    env, host, orch = make(toy())
+
+    def redeploy():
+        with pytest.raises(ValueError):
+            yield from orch.deploy(toy())
+
+    env.run(until=env.process(redeploy()))
+
+
+def test_unknown_function_raises():
+    env, host, orch = make()
+    with pytest.raises(KeyError):
+        orch.function("ghost")
+
+
+def test_cold_invocation_breakdown_sums_to_latency():
+    env, host, orch = make(toy())
+    result = invoke(env, orch, "toy", mode="vanilla")
+    assert result.mode == "vanilla"
+    assert result.breakdown.total_us == pytest.approx(result.latency_us)
+    components = result.breakdown.component_ms()
+    assert components["load_vmm"] > 0
+    assert components["connection"] > 0
+    assert components["processing"] > 0
+
+
+def test_invocation_counter_increments():
+    env, host, orch = make(toy())
+    first = invoke(env, orch, "toy", mode="vanilla")
+    second = invoke(env, orch, "toy", mode="vanilla")
+    assert (first.invocation, second.invocation) == (0, 1)
+    assert orch.function("toy").invocations == 2
+
+
+def test_keep_warm_then_warm_invocation():
+    env, host, orch = make(toy())
+    cold = invoke(env, orch, "toy", mode="vanilla", keep_warm=True)
+    assert len(orch.function("toy").warm) == 1
+    warm = invoke(env, orch, "toy")
+    assert warm.mode == "warm"
+    # Warm latency ~= warm_ms, orders below the cold start.
+    assert warm.latency_us < cold.latency_us / 10
+    assert warm.latency_us == pytest.approx(4.0 * MS, rel=0.3)
+
+
+def test_warm_instance_serves_repeatedly():
+    env, host, orch = make(toy())
+    invoke(env, orch, "toy", mode="vanilla", keep_warm=True)
+    latencies = [invoke(env, orch, "toy").latency_ms for _ in range(5)]
+    assert all(lat < 10 for lat in latencies)
+    vm = orch.function("toy").warm[0].vm
+    assert vm.invocations_served == 6
+
+
+def test_use_warm_false_forces_cold_start():
+    env, host, orch = make(toy())
+    invoke(env, orch, "toy", mode="vanilla", keep_warm=True)
+    result = invoke(env, orch, "toy", mode="vanilla", use_warm=False)
+    assert result.mode == "vanilla"
+
+
+def test_evict_warm_stops_instances():
+    env, host, orch = make(toy())
+    invoke(env, orch, "toy", mode="vanilla", keep_warm=True)
+    vm = orch.function("toy").warm[0].vm
+    assert orch.evict_warm("toy") == 1
+    assert vm.state is VmState.STOPPED
+    assert not orch.function("toy").warm
+
+
+def test_s3_input_fetch_included_in_processing():
+    env, host, orch = make(toy())
+    result = invoke(env, orch, "toy", mode="vanilla", keep_warm=True)
+    warm = invoke(env, orch, "toy")
+    s3_us = host.s3_fetch_us(toy().input_bytes)
+    assert s3_us > 0
+    # Warm processing includes the input fetch but totals ~= warm_ms
+    # (compute budget absorbs the fetch).
+    assert warm.breakdown.processing_us >= s3_us
+
+
+def test_cold_without_snapshot_errors():
+    env, host, orch = make()
+
+    def deploy_no_snapshot():
+        yield from orch.deploy(toy(), take_snapshot=False)
+
+    env.run(until=env.process(deploy_no_snapshot()))
+    orch.evict_warm("toy")
+
+    def failing():
+        with pytest.raises(RuntimeError, match="no snapshot"):
+            yield from orch.invoke("toy", use_warm=False)
+
+    env.run(until=env.process(failing()))
+
+
+def test_flush_page_cache_controls_cold_cache_state():
+    env, host, orch = make(toy())
+    invoke(env, orch, "toy", mode="vanilla")
+    warm_cache = invoke(env, orch, "toy", mode="vanilla",
+                        flush_page_cache=False)
+    cold_cache = invoke(env, orch, "toy", mode="vanilla",
+                        flush_page_cache=True)
+    # Not flushing leaves snapshot pages cached -> faster cold start.
+    assert warm_cache.latency_us < cold_cache.latency_us
+
+
+def test_full_catalog_function_cold_start():
+    profile = get_profile("helloworld")
+    env, host, orch = make(profile)
+    result = invoke(env, orch, "helloworld", mode="vanilla")
+    assert 150 <= result.breakdown.total_ms <= 320
+
+
+def test_determinism_same_seed_same_latencies():
+    def run_once():
+        env, host, orch = make(toy())
+        cold = invoke(env, orch, "toy", mode="vanilla")
+        record = invoke(env, orch, "toy")
+        reap = invoke(env, orch, "toy")
+        return (cold.latency_us, record.latency_us, reap.latency_us)
+
+    assert run_once() == run_once()

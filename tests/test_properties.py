@@ -1,0 +1,104 @@
+"""Hypothesis property tests over the whole stack.
+
+These generate random (small) function profiles and drive real cold
+starts through every restore policy, asserting the invariants that must
+hold for *any* workload, not just the calibrated catalog:
+
+* accounting: the latency breakdown components always sum to the
+  client-observed wall time;
+* completeness: after any cold invocation, exactly the traced pages are
+  resident;
+* REAP is never meaningfully slower than vanilla, and never serves more
+  demand faults;
+* determinism: same seed, same everything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import Testbed
+from repro.functions import FunctionProfile
+
+profiles = st.builds(
+    FunctionProfile,
+    name=st.just("prop"),
+    description=st.just("property-test function"),
+    vm_memory_mb=st.just(32),
+    boot_footprint_mb=st.just(8.0),
+    warm_ms=st.floats(min_value=0.5, max_value=50.0),
+    connection_warm_ms=st.floats(min_value=1.0, max_value=6.0),
+    connection_pages=st.integers(min_value=10, max_value=150),
+    processing_pages=st.integers(min_value=10, max_value=300),
+    unique_pages=st.integers(min_value=0, max_value=60),
+    unique_zero_fraction=st.floats(min_value=0.0, max_value=1.0),
+    contiguity_mean=st.floats(min_value=1.0, max_value=5.0),
+    fault_cpu_us=st.floats(min_value=0.0, max_value=100.0),
+    input_mb=st.floats(min_value=0.0, max_value=2.0),
+)
+
+
+def cold_run(profile, seed, mode=None):
+    testbed = Testbed(seed=seed)
+    testbed.deploy(profile)
+    if mode in (None, "reap", "ws_file", "parallel_pf"):
+        testbed.invoke("prop")  # record first
+    return testbed, testbed.invoke("prop", mode=mode, keep_warm=True)
+
+
+@given(profiles, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_breakdown_sums_to_wall_time(profile, seed):
+    for mode in ("vanilla", None):
+        _testbed, result = cold_run(profile, seed, mode)
+        assert abs(result.breakdown.total_us - result.latency_us) < 1e-6
+
+
+@given(profiles, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_exactly_traced_pages_resident_after_cold_start(profile, seed):
+    testbed, result = cold_run(profile, seed, "vanilla")
+    vm = testbed.orchestrator.function("prop").warm[0].vm
+    resident = {page for page in range(vm.memory.page_count)
+                if vm.memory.is_present(page)}
+    assert resident == set(result.trace.pages)
+
+
+@given(profiles, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_reap_not_slower_and_fewer_faults(profile, seed):
+    _tb1, vanilla = cold_run(profile, seed, "vanilla")
+    _tb2, reap = cold_run(profile, seed, None)
+    assert reap.mode == "reap"
+    assert reap.latency_us <= vanilla.latency_us * 1.05
+    assert reap.breakdown.demand_faults <= vanilla.breakdown.demand_faults
+
+
+@given(profiles, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_reap_resident_superset_of_trace(profile, seed):
+    """REAP may over-install (mispredicted record pages) but never under."""
+    testbed, result = cold_run(profile, seed, None)
+    vm = testbed.orchestrator.function("prop").warm[0].vm
+    for page in result.trace.pages:
+        assert vm.memory.is_present(page)
+
+
+@given(profiles)
+@settings(max_examples=10, deadline=None)
+def test_determinism_across_runs(profile):
+    def observe():
+        _testbed, vanilla = cold_run(profile, 99, "vanilla")
+        _testbed2, reap = cold_run(profile, 99, None)
+        return (vanilla.latency_us, reap.latency_us,
+                tuple(reap.trace.pages[:20]))
+
+    assert observe() == observe()
+
+
+@given(profiles, st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_warm_faster_than_any_cold_path(profile, seed):
+    testbed, cold = cold_run(profile, seed, "vanilla")
+    warm = testbed.invoke("prop")
+    assert warm.mode == "warm"
+    assert warm.latency_us < cold.latency_us

@@ -1,0 +1,303 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def body():
+        yield env.timeout(10)
+        done.append(env.now)
+        yield env.timeout(5)
+        done.append(env.now)
+
+    env.process(body())
+    env.run()
+    assert done == [10, 15]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = []
+
+    def body():
+        value = yield env.timeout(1, value="payload")
+        seen.append(value)
+
+    env.process(body())
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    fired = []
+
+    def body():
+        yield env.timeout(100)
+        fired.append("late")
+
+    env.process(body())
+    env.run(until=50)
+    assert fired == []
+    assert env.now == 50
+    env.run()
+    assert fired == ["late"]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def body():
+        yield env.timeout(3)
+        return 42
+
+    proc = env.process(body())
+    assert env.run(until=proc) == 42
+    assert env.now == 3
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def make(tag):
+        def body():
+            yield env.timeout(5)
+            order.append(tag)
+        return body
+
+    for tag in ["a", "b", "c"]:
+        env.process(make(tag)())
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_waits_on_manual_event():
+    env = Environment()
+    gate = env.event()
+    got = []
+
+    def waiter():
+        value = yield gate
+        got.append((env.now, value))
+
+    def opener():
+        yield env.timeout(7)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert got == [(7, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def waiter():
+        with pytest.raises(ValueError, match="boom"):
+            yield env.process(failing())
+        return "handled"
+
+    proc = env.process(waiter())
+    assert env.run(until=proc) == "handled"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    env = Environment()
+
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("unwatched")
+
+    env.process(failing())
+    with pytest.raises(ValueError, match="unwatched"):
+        env.run()
+
+
+def test_all_of_collects_values():
+    env = Environment()
+
+    def body(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def main():
+        procs = [env.process(body(d, d * 10)) for d in (3, 1, 2)]
+        values = yield AllOf(env, procs)
+        return values
+
+    proc = env.process(main())
+    assert env.run(until=proc) == [30, 10, 20]
+    assert env.now == 3
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def main():
+        values = yield AllOf(env, [])
+        return (env.now, values)
+
+    proc = env.process(main())
+    assert env.run(until=proc) == (0.0, [])
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def body(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def main():
+        procs = [env.process(body(d, f"v{d}")) for d in (5, 2, 9)]
+        index, value = yield AnyOf(env, procs)
+        return (env.now, index, value)
+
+    proc = env.process(main())
+    assert env.run(until=proc) == (2, 1, "v2")
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(4)
+        target.interrupt("teardown")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(4, "teardown")]
+
+
+def test_interrupted_process_ignores_stale_wakeup():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(10)
+            log.append("slept")
+        except Interrupt:
+            yield env.timeout(100)
+            log.append("resumed-after-interrupt")
+
+    def interrupter(target):
+        yield env.timeout(5)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == ["resumed-after-interrupt"]
+    assert env.now == 105
+
+
+def test_interrupting_dead_process_is_noop():
+    env = Environment()
+
+    def body():
+        yield env.timeout(1)
+
+    proc = env.process(body())
+    env.run()
+    assert not proc.is_alive
+    proc.interrupt()  # must not raise
+    env.run()
+
+
+def test_yielding_non_event_fails_process():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    def waiter():
+        with pytest.raises(SimulationError):
+            yield env.process(bad())
+        return "caught"
+
+    proc = env.process(waiter())
+    assert env.run(until=proc) == "caught"
+
+
+def test_process_return_value_available_after_run():
+    env = Environment()
+
+    def body():
+        yield env.timeout(2)
+        return "result"
+
+    proc = env.process(body())
+    env.run()
+    assert proc.value == "result"
+    assert not proc.is_alive
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    results = []
+
+    def early():
+        yield env.timeout(1)
+        return "early"
+
+    def late(target):
+        yield env.timeout(10)
+        value = yield target
+        results.append((env.now, value))
+
+    target = env.process(early())
+    env.process(late(target))
+    env.run()
+    assert results == [(10, "early")]
+
+
+def test_run_until_event_on_exhausted_queue_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=never)

@@ -1,0 +1,167 @@
+"""Unit tests for the SSD, HDD and thin-pool device models."""
+
+import math
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.units import KIB, MIB
+from repro.storage import IoRequest, SsdDevice, SsdParameters, ThinPoolDevice
+from repro.storage.fio import random_read_bandwidth, sequential_read_bandwidth
+from repro.storage.hdd import HddDevice, HddParameters
+from repro.storage.thinpool import ThinPoolParameters
+
+
+def run_read(env, device, request):
+    proc = env.process(device.read(request))
+    env.run(until=proc)
+    return env.now
+
+
+def test_ssd_single_4k_read_latency():
+    env = Environment()
+    ssd = SsdDevice(env)
+    elapsed = run_read(env, ssd, IoRequest(lba=0, nbytes=4 * KIB))
+    # controller + flash + link transfer: ~127 us (=> ~32 MB/s).
+    assert 115 <= elapsed <= 140
+
+
+def test_ssd_large_read_reaches_peak_bandwidth():
+    env = Environment()
+    ssd = SsdDevice(env)
+    size = 8 * MIB
+    elapsed = run_read(env, ssd, IoRequest(lba=0, nbytes=size))
+    mbps = size / 1e6 / (elapsed / 1e6)
+    assert 780 <= mbps <= 860
+
+
+def test_ssd_fio_calibration_triplet():
+    """The paper's 32 / 360 / 850 MB/s fio numbers (§5.2.3)."""
+    env = Environment()
+    ssd = SsdDevice(env)
+    qd1 = random_read_bandwidth(ssd, queue_depth=1, requests_per_worker=100)
+    assert 28 <= qd1.bandwidth_mbps <= 36
+
+    env = Environment()
+    ssd = SsdDevice(env)
+    qd16 = random_read_bandwidth(ssd, queue_depth=16, requests_per_worker=100)
+    assert 320 <= qd16.bandwidth_mbps <= 400
+
+    env = Environment()
+    ssd = SsdDevice(env)
+    seq = sequential_read_bandwidth(ssd)
+    assert 780 <= seq.bandwidth_mbps <= 860
+
+
+def test_ssd_concurrent_reads_share_channels():
+    env = Environment()
+    ssd = SsdDevice(env)
+    done = []
+
+    def reader():
+        yield from ssd.read(IoRequest(lba=0, nbytes=4 * KIB))
+        done.append(env.now)
+
+    for _ in range(2):
+        env.process(reader())
+    env.run()
+    # Two readers overlap on channels; only controller time serializes.
+    assert done[1] - done[0] == pytest.approx(11.5, abs=1.0)
+
+
+def test_ssd_write_slower_than_read():
+    env = Environment()
+    ssd = SsdDevice(env)
+    read_time = run_read(env, ssd, IoRequest(lba=0, nbytes=4 * KIB))
+    env2 = Environment()
+    ssd2 = SsdDevice(env2)
+    proc = env2.process(ssd2.write(IoRequest(lba=0, nbytes=4 * KIB)))
+    env2.run(until=proc)
+    assert env2.now > read_time
+
+
+def test_ssd_stats_accounting():
+    env = Environment()
+    ssd = SsdDevice(env)
+    run_read(env, ssd, IoRequest(lba=0, nbytes=4 * KIB))
+    assert ssd.stats.read_requests == 1
+    assert ssd.stats.read_bytes == 4 * KIB
+    assert ssd.stats.first_io_at is not None
+
+
+def test_ssd_rejects_invalid_request():
+    with pytest.raises(ValueError):
+        IoRequest(lba=-1, nbytes=4 * KIB)
+    with pytest.raises(ValueError):
+        IoRequest(lba=0, nbytes=0)
+
+
+def test_hdd_random_read_pays_seek_and_rotation():
+    env = Environment()
+    hdd = HddDevice(env)
+    elapsed = run_read(env, hdd, IoRequest(lba=0, nbytes=4 * KIB))
+    params = HddParameters()
+    expected = (params.average_seek_us + params.rotation_us / 2
+                + 4 * KIB / (params.transfer_mbps * 1e6 / 1e6))
+    assert math.isclose(elapsed, expected, rel_tol=1e-6)
+
+
+def test_hdd_sequential_read_skips_seek():
+    env = Environment()
+    hdd = HddDevice(env)
+    run_read(env, hdd, IoRequest(lba=0, nbytes=64 * KIB))
+    first_end = env.now
+    proc = env.process(hdd.read(IoRequest(lba=64 * KIB, nbytes=64 * KIB)))
+    env.run(until=proc)
+    second = env.now - first_end
+    # Pure transfer: 64 KiB at 150 MB/s ~ 437 us, no seek.
+    assert second < 1000
+
+
+def test_hdd_two_orders_slower_than_ssd_for_random_4k():
+    env_s = Environment()
+    ssd = SsdDevice(env_s)
+    ssd_time = run_read(env_s, ssd, IoRequest(lba=0, nbytes=4 * KIB))
+    env_h = Environment()
+    hdd = HddDevice(env_h)
+    hdd_time = run_read(env_h, hdd, IoRequest(lba=0, nbytes=4 * KIB))
+    assert hdd_time / ssd_time > 50
+
+
+def test_thinpool_limits_concurrency():
+    env = Environment()
+    ssd = SsdDevice(env, SsdParameters(channels=64))
+    pool = ThinPoolDevice(env, ssd, ThinPoolParameters(queue_depth=2,
+                                                       mapping_overhead_us=0))
+    done = []
+
+    def reader():
+        yield from pool.read(IoRequest(lba=0, nbytes=4 * KIB))
+        done.append(env.now)
+
+    for _ in range(4):
+        env.process(reader())
+    env.run()
+    # With depth 2, the 4 reads complete in two waves.
+    assert done[1] < done[2]
+    assert done[3] > done[1] * 1.5
+
+
+def test_thinpool_adds_mapping_overhead():
+    env = Environment()
+    ssd = SsdDevice(env)
+    raw = run_read(env, ssd, IoRequest(lba=0, nbytes=4 * KIB))
+
+    env2 = Environment()
+    ssd2 = SsdDevice(env2)
+    pool = ThinPoolDevice(env2, ssd2)
+    pooled = run_read(env2, pool, IoRequest(lba=0, nbytes=4 * KIB))
+    assert pooled == pytest.approx(raw + ThinPoolParameters().mapping_overhead_us)
+
+
+def test_thinpool_stats_recorded():
+    env = Environment()
+    pool = ThinPoolDevice(env, SsdDevice(env))
+    run_read(env, pool, IoRequest(lba=0, nbytes=4 * KIB))
+    assert pool.stats.read_requests == 1
+    assert pool.backing.stats.read_requests == 1
