@@ -1,10 +1,16 @@
-"""Aggregation of invocation breakdowns (the paper averages 10 runs)."""
+"""Aggregation of invocation breakdowns (the paper averages 10 runs).
+
+Also hosts the small fold helpers (:func:`collect`, :func:`spread`)
+that experiment ``assemble()`` steps use to turn cached cell payloads
+back into figure-level rows and metrics -- see
+:mod:`repro.bench.experiments.spec` for the cell contract.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.context import LatencyBreakdown
 
@@ -66,6 +72,33 @@ def average_breakdowns(breakdowns: Sequence[LatencyBreakdown],
         demand_faults=mean("demand_faults"),
         major_faults=mean("major_faults"),
     )
+
+
+def collect(payloads: Sequence[Mapping[str, Any]], key: str) -> list[Any]:
+    """Pull one field out of every cell payload, in cell order.
+
+    The workhorse of experiment assembly: cached and freshly-computed
+    payloads alike are plain dicts, and figures are folds over one field
+    of each (``collect(payloads, "row")`` rebuilds the table,
+    ``collect(payloads, "speedup")`` feeds :func:`geometric_mean`).
+    """
+    return [payload[key] for payload in payloads]
+
+
+def spread(values: Sequence[float]) -> dict[str, float]:
+    """Min/max/mean triple over per-cell scalars.
+
+    Matches the plain-Python arithmetic the experiments historically
+    used (``sum(values) / len(values)``), so assembled metrics are
+    bit-identical to the pre-cell monolithic implementations.
+    """
+    if not values:
+        raise ValueError("no values")
+    return {
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+    }
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -1,8 +1,21 @@
-"""Plain-text table rendering for benchmark reports."""
+"""Rendering benchmark reports: aligned text, JSON, and CSV.
+
+:func:`format_table` backs ``ExperimentResult.render()``;
+:func:`render_json` and :func:`render_csv` back the CLI's
+``--format json|csv`` modes and assemble their output straight from
+results (which themselves come from cached or freshly-simulated cell
+payloads -- see :mod:`repro.bench.experiments.spec`).
+"""
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.bench.harness import ExperimentResult
 
 Row = Mapping[str, Any]
 
@@ -44,6 +57,44 @@ def _numeric(text: str) -> bool:
     except ValueError:
         return False
     return True
+
+
+def render_json(results: Iterable["ExperimentResult"],
+                stats: Mapping[str, Any] | None = None) -> str:
+    """Machine-readable report: experiments plus optional run stats.
+
+    The payload round-trips: ``ExperimentResult.from_dict`` on each
+    entry of ``experiments`` rebuilds the original results exactly.
+    """
+    blob: dict[str, Any] = {
+        "experiments": [result.to_dict() for result in results],
+    }
+    if stats is not None:
+        blob["stats"] = dict(stats)
+    return json.dumps(blob, indent=2, sort_keys=False)
+
+
+def render_csv(results: Iterable["ExperimentResult"]) -> str:
+    """Flat CSV of every row of every experiment.
+
+    Experiments have heterogeneous columns, so the header is the union
+    (first-seen order) with an ``experiment`` id column prepended;
+    absent fields render empty.
+    """
+    results = list(results)
+    columns: list[str] = ["experiment"]
+    for result in results:
+        for row in result.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for result in results:
+        for row in result.rows:
+            writer.writerow({"experiment": result.experiment, **row})
+    return buffer.getvalue()
 
 
 def comparison_table(measured: Mapping[str, float],

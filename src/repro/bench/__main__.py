@@ -1,7 +1,23 @@
-"""CLI for the experiment harness: ``python -m repro.bench <experiment>``.
+"""CLI for the experiment harness: ``python -m repro.bench <command>``.
 
-Run ``python -m repro.bench list`` to see all experiment ids, or
-``python -m repro.bench all`` to regenerate every table and figure.
+Subcommands::
+
+    list                      show every experiment id (and its title)
+    run EXPERIMENT [...]      run one or more experiments by id/alias
+    all                       run every experiment
+    clean-cache               drop the on-disk result cache
+
+``run`` and ``all`` share the execution flags: ``--jobs N`` fans cells
+out over N worker processes, ``--seed`` picks the experiment seed,
+``--force`` ignores (and refreshes) cached cell results, ``--no-cache``
+disables the cache entirely, ``--cache-dir`` relocates it,
+``--shard cells|experiments`` picks the dispatch granularity, and
+``--format table|json|csv`` selects the output encoding.
+
+The historical spelling ``python -m repro.bench <experiment>`` (no
+subcommand) still works and means ``run <experiment>``.
+
+See also :mod:`repro.bench.runner` and :mod:`repro.bench.cache`.
 """
 
 from __future__ import annotations
@@ -9,29 +25,129 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.analysis.report import render_csv, render_json
+from repro.bench.cache import ResultCache
+from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve
+from repro.bench.runner import Runner
+
+COMMANDS = ("list", "run", "all", "clean-cache")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for cell execution "
+                             "(default: 1, serial)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="experiment seed (default: 42)")
+    parser.add_argument("--force", action="store_true",
+                        help="re-simulate even when cached results exist")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location (default: .repro-cache, "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--shard", choices=("cells", "experiments"),
+                        default="cells",
+                        help="dispatch granularity for --jobs > 1 "
+                             "(default: cells)")
+    parser.add_argument("--format", choices=("table", "json", "csv"),
+                        default="table", dest="fmt",
+                        help="output encoding (default: table)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.")
-    parser.add_argument("experiment",
-                        help="experiment id (see 'list'), 'all', or 'list'")
-    parser.add_argument("--seed", type=int, default=42)
-    args = parser.parse_args(argv)
+    commands = parser.add_subparsers(dest="command", required=True)
 
-    if args.experiment == "list":
-        for name in EXPERIMENTS:
-            print(name)
-        return 0
-    names = list(EXPERIMENTS) if args.experiment == "all" \
-        else [args.experiment]
-    for name in names:
-        result = run_experiment(name, seed=args.seed)
-        print(result.render())
-        print()
+    commands.add_parser("list", help="list experiment ids")
+
+    run = commands.add_parser("run", help="run selected experiments")
+    run.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                     help="experiment id or alias (see 'list')")
+    _add_run_flags(run)
+
+    everything = commands.add_parser("all", help="run every experiment")
+    _add_run_flags(everything)
+
+    clean = commands.add_parser("clean-cache",
+                                help="delete cached cell results")
+    clean.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache location (default: .repro-cache, "
+                            "or $REPRO_CACHE_DIR)")
+    return parser
+
+
+def _normalize(argv: list[str]) -> list[str]:
+    """Map the legacy ``python -m repro.bench <experiment>`` form to ``run``.
+
+    The old single-command parser accepted flags and the experiment in
+    any order (``--seed 7 fig3``), so the rewrite triggers whenever no
+    subcommand appears anywhere but some positional does.  Pure-flag
+    invocations (``-h``) still reach the top-level parser untouched.
+    """
+    if any(token in COMMANDS for token in argv):
+        return argv
+    if any(not token.startswith("-") for token in argv):
+        return ["run", *argv]
+    return argv
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, experiment in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {experiment.title}")
     return 0
+
+
+def _cmd_clean_cache(args: argparse.Namespace) -> int:
+    removed = ResultCache(args.cache_dir).clear()
+    print(f"removed {removed} cached cell result(s)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, names: list[str]) -> int:
+    try:
+        for name in names:
+            resolve(name)
+    except KeyError:
+        known = "\n  ".join(sorted(EXPERIMENTS))
+        aliases = ", ".join(sorted(ALIASES))
+        print(f"error: unknown experiment {name!r}\n"
+              f"valid ids:\n  {known}\n"
+              f"aliases: {aliases}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = Runner(jobs=args.jobs, cache=cache, force=args.force,
+                    shard=args.shard)
+    outcome = runner.run(names, seed=args.seed)
+    if args.fmt == "json":
+        print(render_json(outcome.results, stats=outcome.stats.as_dict()))
+    elif args.fmt == "csv":
+        print(render_csv(outcome.results), end="")
+    else:
+        for result in outcome.results:
+            print(result.render())
+            print()
+    print(outcome.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = _build_parser().parse_args(_normalize(argv))
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "clean-cache":
+            return _cmd_clean_cache(args)
+        names = list(EXPERIMENTS) if args.command == "all" \
+            else args.experiments
+        return _cmd_run(args, names)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,61 +1,97 @@
-"""Experiment registry: one entry per paper table/figure (DESIGN.md §4)."""
+"""Experiment registry: one entry per paper table/figure (DESIGN.md §4).
+
+Every entry is an :class:`~repro.bench.experiments.spec.Experiment`
+instance exposing the declarative ``cells() -> run_cell() -> assemble()``
+triple consumed by :class:`repro.bench.runner.Runner`; calling the
+instance (or :func:`run_experiment`) runs it serially.  Experiments are
+addressable by their canonical id (``fig8``) or any legacy alias
+(``fig8_reap_speedup``).
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
 from repro.bench.experiments.characterization import (
-    fig2_cold_vs_warm,
-    fig3_contiguity,
-    fig4_footprints,
-    fig5_reuse,
-    table1_catalog,
+    Fig2ColdVsWarm,
+    Fig3Contiguity,
+    Fig4Footprints,
+    Fig5Reuse,
+    Table1Catalog,
 )
 from repro.bench.experiments.reap_eval import (
-    fallback_detection,
-    fig7_design_points,
-    fig8_reap_speedup,
-    mispredictions,
-    record_overhead,
+    FallbackDetection,
+    Fig7DesignPoints,
+    Fig8ReapSpeedup,
+    Mispredictions,
+    RecordOverhead,
 )
 from repro.bench.experiments.scale_eval import (
-    ablations,
-    fig9_scalability,
-    fio_microbench,
-    hdd_comparison,
-    remote_storage,
-    tail_latency,
-    warm_background,
+    Ablations,
+    Fig9Scalability,
+    FioMicrobench,
+    HddComparison,
+    RemoteStorage,
+    TailLatency,
+    WarmBackground,
 )
+from repro.bench.experiments.spec import Cell, Experiment
 from repro.bench.harness import ExperimentResult
 
+__all__ = [
+    "ALIASES",
+    "Cell",
+    "EXPERIMENTS",
+    "Experiment",
+    "resolve",
+    "run_experiment",
+]
+
+#: Registry in the paper's presentation order (``bench all`` runs this).
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "table1": table1_catalog,
-    "fig2": fig2_cold_vs_warm,
-    "fig3": fig3_contiguity,
-    "fig4": fig4_footprints,
-    "fig5": fig5_reuse,
-    "fig7": fig7_design_points,
-    "fig8": fig8_reap_speedup,
-    "fig9": fig9_scalability,
-    "fio": fio_microbench,
-    "hdd": hdd_comparison,
-    "warm_background": warm_background,
-    "record_overhead": record_overhead,
-    "mispredictions": mispredictions,
-    "fallback": fallback_detection,
-    "ablations": ablations,
-    "remote_storage": remote_storage,
-    "tail_latency": tail_latency,
+    experiment.id: experiment for experiment in (
+        Table1Catalog(),
+        Fig2ColdVsWarm(),
+        Fig3Contiguity(),
+        Fig4Footprints(),
+        Fig5Reuse(),
+        Fig7DesignPoints(),
+        Fig8ReapSpeedup(),
+        Fig9Scalability(),
+        FioMicrobench(),
+        HddComparison(),
+        WarmBackground(),
+        RecordOverhead(),
+        Mispredictions(),
+        FallbackDetection(),
+        Ablations(),
+        RemoteStorage(),
+        TailLatency(),
+    )
+}
+
+#: Legacy spellings (the old monolithic function names) -> canonical id.
+ALIASES: dict[str, str] = {
+    alias: experiment.id
+    for experiment in EXPERIMENTS.values()
+    for alias in experiment.aliases
 }
 
 
+def resolve(name: str) -> str:
+    """Canonical experiment id for ``name`` (id or alias).
+
+    Raises :class:`KeyError` with the full list of valid ids, so callers
+    (CLI included) surface a helpful message instead of a bare miss.
+    """
+    if name in EXPERIMENTS:
+        return name
+    if name in ALIASES:
+        return ALIASES[name]
+    known = ", ".join(sorted(EXPERIMENTS))
+    raise KeyError(f"unknown experiment {name!r}; known: {known}")
+
+
 def run_experiment(name: str, **kwargs) -> ExperimentResult:
-    """Run a registered experiment by id (e.g. ``fig8``)."""
-    try:
-        experiment = EXPERIMENTS[name]
-    except KeyError:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {name!r}; known: {known}") \
-            from None
-    return experiment(**kwargs)
+    """Run a registered experiment by id or alias (e.g. ``fig8``)."""
+    return EXPERIMENTS[resolve(name)].run(**kwargs)

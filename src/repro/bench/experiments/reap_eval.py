@@ -1,9 +1,21 @@
-"""REAP evaluation experiments: Figures 7-8 and §6.4/§7.1/§7.2."""
+"""REAP evaluation experiments: Figures 7-8 and §6.4/§7.1/§7.2.
+
+Figures 8 and the §6.4/§7.1 studies shard into one cell per function;
+Fig. 7 and the fallback study stay single-cell because their
+invocations share one testbed (the record invocation feeds the later
+design points), so splitting them would change the simulated history.
+"""
 
 from __future__ import annotations
 
-from repro.analysis.aggregate import average_breakdowns, geometric_mean
+from repro.analysis.aggregate import (
+    average_breakdowns,
+    collect,
+    geometric_mean,
+    spread,
+)
 from repro.bench import reference
+from repro.bench.experiments.spec import Cell, Experiment
 from repro.bench.harness import ExperimentResult, Testbed
 from repro.core.manager import ReapParameters
 from repro.functions import FUNCTIONBENCH, get_profile
@@ -17,63 +29,92 @@ def _function_names(functions) -> list[str]:
     return list(functions)
 
 
-def fig7_design_points(repetitions: int = 3, seed: int = 42,
-                       function: str = "helloworld") -> ExperimentResult:
+class Fig7DesignPoints(Experiment):
     """Fig. 7: the optimization ladder on helloworld.
 
     Vanilla snapshots -> parallel page-fault handling -> WS file through
     the page cache -> REAP (O_DIRECT), with the effective SSD bandwidth
-    each point extracts (§6.2).
+    each point extracts (§6.2).  One cell: the four design points reuse
+    one testbed (and one record invocation), in order.
     """
-    result = ExperimentResult(
-        "fig7", f"REAP optimization steps on {function} (Fig. 7)")
-    profile = get_profile(function)
-    testbed = Testbed(seed=seed)
-    testbed.deploy(profile)
-    testbed.invoke(function)  # record -> artifacts for the trace-based modes
-    ws_bytes = profile.total_working_set_pages * PAGE_SIZE
 
-    totals = {}
-    for mode in ("vanilla", "parallel_pf", "ws_file", "reap"):
-        breakdowns = [r.breakdown for r in testbed.invoke_many(
-            function, repetitions, mode=mode, use_warm=False)]
-        summary = average_breakdowns(breakdowns)
-        totals[mode] = summary.total_ms
-        if mode == "vanilla":
-            # Effective bandwidth: working set over the fault-dominated
-            # phases (connection + processing), as the paper infers it.
-            fetch_ms = summary.connection_ms + summary.processing_ms
-        else:
-            fetch_ms = summary.fetch_ws_ms
-        bandwidth = ws_bytes / 1e6 / (fetch_ms / 1e3) if fetch_ms else 0.0
-        result.rows.append({
-            "design_point": mode,
-            "total_ms": round(summary.total_ms, 1),
-            "paper_ms": reference.FIG7_DESIGN_POINTS_MS[mode],
-            "deviation": f"{summary.total_ms / reference.FIG7_DESIGN_POINTS_MS[mode] - 1:+.1%}",
-            "fetch_ms": round(fetch_ms, 1),
-            "ssd_mbps": round(bandwidth, 0),
-            "paper_mbps": reference.FIG7_BANDWIDTH_MBPS[mode],
-        })
-    result.metrics["vanilla_over_reap"] = totals["vanilla"] / totals["reap"]
-    result.metrics["monotonic_ladder"] = float(
-        totals["vanilla"] > totals["parallel_pf"]
-        > totals["ws_file"] > totals["reap"])
-    result.notes.append("paper ladder: 232 -> 118 -> 71 -> 60 ms")
-    return result
+    id = "fig7"
+    title = "REAP optimization steps (Fig. 7)"
+    aliases = ("fig7_design_points",)
+
+    def cells(self, repetitions: int = 3, seed: int = 42,
+              function: str = "helloworld", **_kwargs) -> list[Cell]:
+        return [self._cell(function, function=function,
+                           repetitions=repetitions, seed=seed)]
+
+    def run_cell(self, cell: Cell) -> dict:
+        function = cell.params["function"]
+        repetitions = cell.params["repetitions"]
+        profile = get_profile(function)
+        testbed = Testbed(seed=cell.params["seed"])
+        testbed.deploy(profile)
+        testbed.invoke(function)  # record -> artifacts for trace-based modes
+        ws_bytes = profile.total_working_set_pages * PAGE_SIZE
+
+        rows = []
+        totals = {}
+        for mode in ("vanilla", "parallel_pf", "ws_file", "reap"):
+            breakdowns = [r.breakdown for r in testbed.invoke_many(
+                function, repetitions, mode=mode, use_warm=False)]
+            summary = average_breakdowns(breakdowns)
+            totals[mode] = summary.total_ms
+            if mode == "vanilla":
+                # Effective bandwidth: working set over the fault-dominated
+                # phases (connection + processing), as the paper infers it.
+                fetch_ms = summary.connection_ms + summary.processing_ms
+            else:
+                fetch_ms = summary.fetch_ws_ms
+            bandwidth = ws_bytes / 1e6 / (fetch_ms / 1e3) if fetch_ms else 0.0
+            rows.append({
+                "design_point": mode,
+                "total_ms": round(summary.total_ms, 1),
+                "paper_ms": reference.FIG7_DESIGN_POINTS_MS[mode],
+                "deviation": f"{summary.total_ms / reference.FIG7_DESIGN_POINTS_MS[mode] - 1:+.1%}",
+                "fetch_ms": round(fetch_ms, 1),
+                "ssd_mbps": round(bandwidth, 0),
+                "paper_mbps": reference.FIG7_BANDWIDTH_MBPS[mode],
+            })
+        return {"rows": rows, "metrics": {
+            "vanilla_over_reap": totals["vanilla"] / totals["reap"],
+            "monotonic_ladder": float(
+                totals["vanilla"] > totals["parallel_pf"]
+                > totals["ws_file"] > totals["reap"]),
+        }}
+
+    def assemble(self, payloads, function: str = "helloworld",
+                 **_kwargs) -> ExperimentResult:
+        result = self.result(
+            f"REAP optimization steps on {function} (Fig. 7)")
+        result.rows = payloads[0]["rows"]
+        result.metrics.update(payloads[0]["metrics"])
+        result.notes.append("paper ladder: 232 -> 118 -> 71 -> 60 ms")
+        return result
 
 
-def fig8_reap_speedup(functions=None, repetitions: int = 2,
-                      seed: int = 42, storage: str = "ssd",
-                      ) -> ExperimentResult:
+class Fig8ReapSpeedup(Experiment):
     """Fig. 8: baseline snapshots vs REAP across the whole suite."""
-    result = ExperimentResult(
-        "fig8", f"Cold starts, baseline vs REAP, {storage} (Fig. 8)")
-    speedups = []
-    conn_ms_values = []
-    for name in _function_names(functions):
+
+    id = "fig8"
+    title = "Cold starts, baseline vs REAP (Fig. 8)"
+    aliases = ("fig8_reap_speedup",)
+
+    def cells(self, functions=None, repetitions: int = 2, seed: int = 42,
+              storage: str = "ssd", **_kwargs) -> list[Cell]:
+        return [self._cell(name, function=name, repetitions=repetitions,
+                           seed=seed, storage=storage)
+                for name in _function_names(functions)]
+
+    def run_cell(self, cell: Cell) -> dict:
+        name = cell.params["function"]
+        repetitions = cell.params["repetitions"]
+        storage = cell.params["storage"]
         profile = get_profile(name)
-        testbed = Testbed(seed=seed, storage=storage)
+        testbed = Testbed(seed=cell.params["seed"], storage=storage)
         testbed.deploy(profile)
         baseline = average_breakdowns([
             r.breakdown for r in testbed.invoke_many(
@@ -82,8 +123,6 @@ def fig8_reap_speedup(functions=None, repetitions: int = 2,
         reap = average_breakdowns([
             r.breakdown for r in testbed.invoke_many(name, repetitions)])
         speedup = baseline.total_ms / reap.total_ms
-        speedups.append(speedup)
-        conn_ms_values.append(reap.connection_ms)
         row = {
             "function": name,
             "baseline_ms": round(baseline.total_ms, 1),
@@ -97,120 +136,169 @@ def fig8_reap_speedup(functions=None, repetitions: int = 2,
             row["paper_speedup"] = round(
                 reference.FIG2_COLD_MS[name] / reference.FIG8_REAP_MS[name],
                 2)
-        result.rows.append(row)
-    result.metrics["speedup_geomean"] = geometric_mean(speedups)
-    result.metrics["speedup_min"] = min(speedups)
-    result.metrics["speedup_max"] = max(speedups)
-    result.metrics["reap_connection_ms_max"] = max(conn_ms_values)
-    if storage == "ssd":
-        result.notes.append(
-            f"paper: geometric-mean speedup ~{reference.FIG8_SPEEDUP_GEOMEAN}"
-            f"x, range {reference.FIG8_SPEEDUP_RANGE}; connection "
-            f"restoration shrinks to 4-7 ms")
-    else:
-        result.notes.append(
-            f"paper: ~{reference.HDD_SPEEDUP_GEOMEAN}x average speedup when "
-            f"snapshots live on the HDD")
-    return result
+        return {"row": row, "speedup": speedup,
+                "conn_ms": reap.connection_ms}
+
+    def assemble(self, payloads, storage: str = "ssd",
+                 **_kwargs) -> ExperimentResult:
+        result = self.result(
+            f"Cold starts, baseline vs REAP, {storage} (Fig. 8)")
+        result.rows = collect(payloads, "row")
+        speedups = collect(payloads, "speedup")
+        result.metrics["speedup_geomean"] = geometric_mean(speedups)
+        result.metrics["speedup_min"] = min(speedups)
+        result.metrics["speedup_max"] = max(speedups)
+        result.metrics["reap_connection_ms_max"] = max(
+            collect(payloads, "conn_ms"))
+        if storage == "ssd":
+            result.notes.append(
+                f"paper: geometric-mean speedup "
+                f"~{reference.FIG8_SPEEDUP_GEOMEAN}"
+                f"x, range {reference.FIG8_SPEEDUP_RANGE}; connection "
+                f"restoration shrinks to 4-7 ms")
+        else:
+            result.notes.append(
+                f"paper: ~{reference.HDD_SPEEDUP_GEOMEAN}x average speedup "
+                f"when snapshots live on the HDD")
+        return result
 
 
-def record_overhead(functions=None, seed: int = 42) -> ExperimentResult:
+class RecordOverhead(Experiment):
     """§6.4: one-time cost of REAP's record phase vs a vanilla cold start."""
-    result = ExperimentResult(
-        "record_overhead", "Record-phase one-time overhead (§6.4)")
-    overheads = []
-    for name in _function_names(functions):
-        profile = get_profile(name)
-        testbed = Testbed(seed=seed)
-        testbed.deploy(profile)
+
+    id = "record_overhead"
+    title = "Record-phase one-time overhead (§6.4)"
+    aliases = ()
+
+    def cells(self, functions=None, seed: int = 42, **_kwargs) -> list[Cell]:
+        return [self._cell(name, function=name, seed=seed)
+                for name in _function_names(functions)]
+
+    def run_cell(self, cell: Cell) -> dict:
+        name = cell.params["function"]
+        testbed = Testbed(seed=cell.params["seed"])
+        testbed.deploy(get_profile(name))
         vanilla = testbed.invoke(name, mode="vanilla").breakdown
         record = testbed.invoke(name, mode="record").breakdown
         overhead = record.total_ms / vanilla.total_ms - 1.0
-        overheads.append(overhead)
-        result.rows.append({
+        return {"overhead": overhead, "row": {
             "function": name,
             "vanilla_ms": round(vanilla.total_ms, 1),
             "record_ms": round(record.total_ms, 1),
             "overhead": f"{overhead:+.1%}",
             "artifact_write_ms": round(record.finalize_us / 1e3, 1),
-        })
-    result.metrics["overhead_mean"] = sum(overheads) / len(overheads)
-    result.metrics["overhead_min"] = min(overheads)
-    result.metrics["overhead_max"] = max(overheads)
-    result.notes.append(
-        "paper: +15-87 % on the first invocation, ~28 % on average, "
-        "amortized over all later invocations")
-    return result
+        }}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        result.rows = collect(payloads, "row")
+        overheads = spread(collect(payloads, "overhead"))
+        result.metrics["overhead_mean"] = overheads["mean"]
+        result.metrics["overhead_min"] = overheads["min"]
+        result.metrics["overhead_max"] = overheads["max"]
+        result.notes.append(
+            "paper: +15-87 % on the first invocation, ~28 % on average, "
+            "amortized over all later invocations")
+        return result
 
 
-def mispredictions(functions=None, seed: int = 42) -> ExperimentResult:
+class Mispredictions(Experiment):
     """§7.1: prefetched-but-unused pages track the unique-page fraction."""
-    result = ExperimentResult(
-        "mispredictions", "REAP misprediction cost (§7.1)")
-    fractions = []
-    for name in _function_names(functions):
+
+    id = "mispredictions"
+    title = "REAP misprediction cost (§7.1)"
+    aliases = ()
+
+    def cells(self, functions=None, seed: int = 42, **_kwargs) -> list[Cell]:
+        return [self._cell(name, function=name, seed=seed)
+                for name in _function_names(functions)]
+
+    def run_cell(self, cell: Cell) -> dict:
+        name = cell.params["function"]
         profile = get_profile(name)
-        testbed = Testbed(seed=seed)
+        testbed = Testbed(seed=cell.params["seed"])
         testbed.deploy(profile)
         testbed.invoke(name)  # record
         reap = testbed.invoke(name).breakdown
         prefetched = max(reap.prefetched_pages, 1)
         fraction = reap.unused_prefetched / prefetched
-        fractions.append(fraction)
-        result.rows.append({
+        return {"fraction": fraction, "row": {
             "function": name,
             "prefetched_pages": reap.prefetched_pages,
             "unused_pages": reap.unused_prefetched,
             "mispredict_fraction": f"{fraction:.1%}",
             "unique_fraction": f"{profile.unique_fraction:.1%}",
             "demand_faults": reap.demand_faults,
-        })
-    result.metrics["mispredict_min"] = min(fractions)
-    result.metrics["mispredict_max"] = max(fractions)
-    result.notes.append(
-        "paper: the mispredicted fraction is close to the unique-page "
-        "fraction of Fig. 5 (3-39 %); the only cost is extra SSD traffic")
-    return result
+        }}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        result.rows = collect(payloads, "row")
+        fractions = collect(payloads, "fraction")
+        result.metrics["mispredict_min"] = min(fractions)
+        result.metrics["mispredict_max"] = max(fractions)
+        result.notes.append(
+            "paper: the mispredicted fraction is close to the unique-page "
+            "fraction of Fig. 5 (3-39 %); the only cost is extra SSD traffic")
+        return result
 
 
-def fallback_detection(seed: int = 42) -> ExperimentResult:
-    """§7.2: re-record, then fall back to vanilla for unstable functions."""
-    result = ExperimentResult(
-        "fallback", "Stale working-set detection and fallback (§7.2)")
-    unstable = FunctionProfile(
-        name="unstable",
-        description="pathological function whose working set never repeats",
-        boot_footprint_mb=64.0,
-        vm_memory_mb=128,
-        warm_ms=5.0,
-        connection_pages=300,
-        processing_pages=500,
-        unique_pages=100,
-        contiguity_mean=2.3,
-        record_divergence=0.9,
-    )
-    params = ReapParameters(mispredict_threshold=0.3,
-                            mispredict_streak_limit=2, max_re_records=1)
-    testbed = Testbed(seed=seed, reap_params=params)
-    testbed.deploy(unstable)
-    modes = []
-    for _ in range(8):
-        invocation = testbed.invoke("unstable")
+class FallbackDetection(Experiment):
+    """§7.2: re-record, then fall back to vanilla for unstable functions.
+
+    Single cell: the eight invocations are one stateful history through
+    the :class:`~repro.core.manager.ReapManager` state machine.
+    """
+
+    id = "fallback"
+    title = "Stale working-set detection and fallback (§7.2)"
+    aliases = ("fallback_detection",)
+
+    def cells(self, seed: int = 42, **_kwargs) -> list[Cell]:
+        return [self._cell("unstable", seed=seed)]
+
+    def run_cell(self, cell: Cell) -> dict:
+        unstable = FunctionProfile(
+            name="unstable",
+            description="pathological function whose working set never "
+                        "repeats",
+            boot_footprint_mb=64.0,
+            vm_memory_mb=128,
+            warm_ms=5.0,
+            connection_pages=300,
+            processing_pages=500,
+            unique_pages=100,
+            contiguity_mean=2.3,
+            record_divergence=0.9,
+        )
+        params = ReapParameters(mispredict_threshold=0.3,
+                                mispredict_streak_limit=2, max_re_records=1)
+        testbed = Testbed(seed=cell.params["seed"], reap_params=params)
+        testbed.deploy(unstable)
+        rows = []
+        for _ in range(8):
+            invocation = testbed.invoke("unstable")
+            state = testbed.orchestrator.reap.state_for("unstable")
+            rows.append({
+                "invocation": invocation.invocation,
+                "mode": invocation.mode,
+                "total_ms": round(invocation.breakdown.total_ms, 1),
+                "demand_faults": invocation.breakdown.demand_faults,
+                "mispredict_streak": state.mispredict_streak,
+                "fallback": state.fallback_to_vanilla,
+            })
         state = testbed.orchestrator.reap.state_for("unstable")
-        modes.append(invocation.mode)
-        result.rows.append({
-            "invocation": invocation.invocation,
-            "mode": invocation.mode,
-            "total_ms": round(invocation.breakdown.total_ms, 1),
-            "demand_faults": invocation.breakdown.demand_faults,
-            "mispredict_streak": state.mispredict_streak,
-            "fallback": state.fallback_to_vanilla,
-        })
-    state = testbed.orchestrator.reap.state_for("unstable")
-    result.metrics["re_records"] = state.re_records
-    result.metrics["fell_back"] = float(state.fallback_to_vanilla)
-    result.metrics["records_done"] = state.records_done
-    result.notes.append(
-        "expected sequence: record -> mispredicting prefetches -> "
-        "re-record once -> still mispredicting -> vanilla fallback")
-    return result
+        return {"rows": rows, "metrics": {
+            "re_records": state.re_records,
+            "fell_back": float(state.fallback_to_vanilla),
+            "records_done": state.records_done,
+        }}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        result.rows = payloads[0]["rows"]
+        result.metrics.update(payloads[0]["metrics"])
+        result.notes.append(
+            "expected sequence: record -> mispredicting prefetches -> "
+            "re-record once -> still mispredicting -> vanilla fallback")
+        return result

@@ -1,10 +1,23 @@
-"""Scalability and platform experiments: Fig. 9, fio, HDD, ablations."""
+"""Scalability and platform experiments: Fig. 9, fio, HDD, ablations.
+
+Cell granularity per experiment:
+
+* ``fig9`` -- one cell per concurrency level (each level builds two
+  fresh testbeds);
+* ``fio`` -- one cell per microbenchmark workload;
+* ``hdd`` -- reuses the Fig. 8 cells with ``storage="hdd"``;
+* ``warm_background`` -- two cells (quiet host, busy host);
+* ``tail_latency`` -- two cells (vanilla scheme, REAP scheme);
+* ``remote_storage`` -- one cell per (function, storage backend);
+* ``ablations`` -- one cell per (knob, setting).
+"""
 
 from __future__ import annotations
 
-from repro.analysis.aggregate import geometric_mean
+from repro.analysis.aggregate import collect, geometric_mean
 from repro.bench import reference
-from repro.bench.experiments.reap_eval import fig8_reap_speedup
+from repro.bench.experiments.reap_eval import Fig8ReapSpeedup
+from repro.bench.experiments.spec import Cell, Experiment
 from repro.bench.harness import ExperimentResult, Testbed
 from repro.functions import get_profile
 from repro.sim.units import MS, PAGE_SIZE
@@ -39,93 +52,149 @@ def _concurrent_cold_starts(mode: str, level: int, seed: int,
     return sum(latencies) / len(latencies), makespan_ms
 
 
-def fig9_scalability(levels=reference.FIG9_LEVELS,
-                     seed: int = 42) -> ExperimentResult:
+class Fig9Scalability(Experiment):
     """Fig. 9: average cold-start latency under concurrent arrivals."""
-    result = ExperimentResult(
-        "fig9", "Cold-start latency vs concurrent loading instances (Fig. 9)")
-    profile = get_profile("helloworld")
-    ws_mb = profile.total_working_set_pages * PAGE_SIZE / 1e6
-    baseline_avg = {}
-    reap_avg = {}
-    for level in levels:
+
+    id = "fig9"
+    title = "Cold-start latency vs concurrent loading instances (Fig. 9)"
+    aliases = ("fig9_scalability",)
+
+    def cells(self, levels=reference.FIG9_LEVELS, seed: int = 42,
+              **_kwargs) -> list[Cell]:
+        return [self._cell(f"level={level}", level=int(level), seed=seed)
+                for level in levels]
+
+    def run_cell(self, cell: Cell) -> dict:
+        level = cell.params["level"]
+        seed = cell.params["seed"]
+        profile = get_profile("helloworld")
+        ws_mb = profile.total_working_set_pages * PAGE_SIZE / 1e6
         base_ms, base_span = _concurrent_cold_starts("vanilla", level, seed)
         reap_ms, reap_span = _concurrent_cold_starts("reap", level, seed)
-        baseline_avg[level] = base_ms
-        reap_avg[level] = reap_ms
-        result.rows.append({
+        return {"base_ms": base_ms, "reap_ms": reap_ms, "row": {
             "concurrency": level,
             "baseline_avg_ms": round(base_ms, 1),
             "reap_avg_ms": round(reap_ms, 1),
             "baseline_agg_mbps": round(
                 level * ws_mb / (base_span / 1e3), 0),
             "reap_agg_mbps": round(level * ws_mb / (reap_span / 1e3), 0),
-        })
-    first, last = levels[0], levels[-1]
-    result.metrics["baseline_growth"] = (baseline_avg[last]
-                                         / baseline_avg[first])
-    result.metrics["reap_growth"] = reap_avg[last] / reap_avg[first]
-    result.metrics["reap_advantage_at_max"] = (baseline_avg[last]
-                                               / reap_avg[last])
-    result.notes.append(
-        "paper: baseline grows near-linearly with concurrency; REAP stays "
-        "far lower and becomes disk-bandwidth-bound from ~16 instances")
-    return result
+        }}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        result.rows = collect(payloads, "row")
+        first, last = payloads[0], payloads[-1]
+        result.metrics["baseline_growth"] = (last["base_ms"]
+                                             / first["base_ms"])
+        result.metrics["reap_growth"] = last["reap_ms"] / first["reap_ms"]
+        result.metrics["reap_advantage_at_max"] = (last["base_ms"]
+                                                   / last["reap_ms"])
+        result.notes.append(
+            "paper: baseline grows near-linearly with concurrency; REAP "
+            "stays far lower and becomes disk-bandwidth-bound from ~16 "
+            "instances")
+        return result
 
 
-def fio_microbench(seed: int = 42) -> ExperimentResult:
+class FioMicrobench(Experiment):
     """§5.2.3: the fio calibration triplet on the simulated SSD."""
-    result = ExperimentResult(
-        "fio", "fio-style SSD microbenchmarks (§5.2.3)")
-    measurements = {}
-    from repro.sim.engine import Environment
-    qd1 = random_read_bandwidth(SsdDevice(Environment()), queue_depth=1,
-                                requests_per_worker=200, seed=seed)
-    qd16 = random_read_bandwidth(SsdDevice(Environment()), queue_depth=16,
-                                 requests_per_worker=100, seed=seed)
-    seq = sequential_read_bandwidth(SsdDevice(Environment()))
-    measurements["randread_qd1_4k"] = qd1.bandwidth_mbps
-    measurements["randread_qd16_4k"] = qd16.bandwidth_mbps
-    measurements["seqread_peak"] = seq.bandwidth_mbps
-    for key, paper in reference.FIO_MBPS.items():
-        got = measurements[key]
-        result.rows.append({
-            "workload": key,
-            "measured_mbps": round(got, 1),
-            "paper_mbps": paper,
-            "deviation": f"{got / paper - 1:+.1%}",
-        })
-        result.metrics[key] = got
-    return result
+
+    id = "fio"
+    title = "fio-style SSD microbenchmarks (§5.2.3)"
+    aliases = ("fio_microbench",)
+
+    def cells(self, seed: int = 42, **_kwargs) -> list[Cell]:
+        return [self._cell(workload, workload=workload, seed=seed)
+                for workload in reference.FIO_MBPS]
+
+    def run_cell(self, cell: Cell) -> dict:
+        from repro.sim.engine import Environment
+
+        workload = cell.params["workload"]
+        seed = cell.params["seed"]
+        if workload == "randread_qd1_4k":
+            measured = random_read_bandwidth(
+                SsdDevice(Environment()), queue_depth=1,
+                requests_per_worker=200, seed=seed)
+        elif workload == "randread_qd16_4k":
+            measured = random_read_bandwidth(
+                SsdDevice(Environment()), queue_depth=16,
+                requests_per_worker=100, seed=seed)
+        elif workload == "seqread_peak":
+            measured = sequential_read_bandwidth(SsdDevice(Environment()))
+        else:
+            raise ValueError(f"unknown fio workload {workload!r}")
+        return {"workload": workload, "mbps": measured.bandwidth_mbps}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        measurements = {p["workload"]: p["mbps"] for p in payloads}
+        for key, paper in reference.FIO_MBPS.items():
+            got = measurements[key]
+            result.rows.append({
+                "workload": key,
+                "measured_mbps": round(got, 1),
+                "paper_mbps": paper,
+                "deviation": f"{got / paper - 1:+.1%}",
+            })
+            result.metrics[key] = got
+        return result
 
 
-def hdd_comparison(functions=None, seed: int = 42) -> ExperimentResult:
-    """§6.3: snapshots on a 7200 RPM HDD instead of the SSD."""
-    inner = fig8_reap_speedup(functions=functions, repetitions=1, seed=seed,
-                              storage="hdd")
-    result = ExperimentResult(
-        "hdd", "Baseline vs REAP with snapshots on HDD (§6.3)")
-    result.rows = inner.rows
-    result.metrics = dict(inner.metrics)
-    result.notes.append(
-        f"paper: ~{reference.HDD_SPEEDUP_GEOMEAN}x average (geometric mean) "
-        f"speedup on the HDD, vs ~3.7x on the SSD")
-    return result
+class HddComparison(Fig8ReapSpeedup):
+    """§6.3: snapshots on a 7200 RPM HDD instead of the SSD.
+
+    Same per-function cells as Fig. 8, pinned to one repetition on the
+    HDD backend; only the framing of the assembled result differs.
+    """
+
+    id = "hdd"
+    title = "Baseline vs REAP with snapshots on HDD (§6.3)"
+    aliases = ("hdd_comparison",)
+
+    def cells(self, functions=None, seed: int = 42, **_kwargs) -> list[Cell]:
+        return super().cells(functions=functions, repetitions=1, seed=seed,
+                             storage="hdd")
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        inner = super().assemble(payloads, storage="hdd")
+        result = self.result()
+        result.rows = inner.rows
+        result.metrics = dict(inner.metrics)
+        result.notes.append(
+            f"paper: ~{reference.HDD_SPEEDUP_GEOMEAN}x average (geometric "
+            f"mean) speedup on the HDD, vs ~3.7x on the SSD")
+        return result
 
 
-def warm_background(seed: int = 42, background_functions: int = 20,
-                    function: str = "helloworld",
-                    repetitions: int = 3) -> ExperimentResult:
+class WarmBackground(Experiment):
     """§6.3: cold-start results with 20 warm functions serving traffic."""
-    from repro.functions.spec import FunctionProfile
 
-    def run(with_background: bool) -> tuple[float, float]:
+    id = "warm_background"
+    title = "Cold starts with warm background functions (§6.3)"
+    aliases = ()
+
+    def cells(self, seed: int = 42, background_functions: int = 20,
+              function: str = "helloworld", repetitions: int = 3,
+              **_kwargs) -> list[Cell]:
+        return [self._cell("quiet" if not busy else "busy",
+                           with_background=busy, seed=seed,
+                           background_functions=background_functions,
+                           function=function, repetitions=repetitions)
+                for busy in (False, True)]
+
+    def run_cell(self, cell: Cell) -> dict:
+        from repro.functions.spec import FunctionProfile
+
+        seed = cell.params["seed"]
+        function = cell.params["function"]
+        repetitions = cell.params["repetitions"]
         testbed = Testbed(seed=seed)
         profile = get_profile(function)
         testbed.deploy(profile)
         stop_flag = {"stop": False}
-        if with_background:
-            for index in range(background_functions):
+        if cell.params["with_background"]:
+            for index in range(cell.params["background_functions"]):
                 bg_profile = FunctionProfile(
                     name=f"bg{index}",
                     description="warm background function",
@@ -152,51 +221,69 @@ def warm_background(seed: int = 42, background_functions: int = 20,
         reap = [b.breakdown.total_ms for b in testbed.invoke_many(
             function, repetitions)]
         stop_flag["stop"] = True
-        return (sum(baseline) / len(baseline), sum(reap) / len(reap))
+        return {"baseline_ms": sum(baseline) / len(baseline),
+                "reap_ms": sum(reap) / len(reap)}
 
-    quiet_base, quiet_reap = run(with_background=False)
-    busy_base, busy_reap = run(with_background=True)
-    result = ExperimentResult(
-        "warm_background",
-        f"Cold starts with {background_functions} warm functions (§6.3)")
-    for label, quiet, busy in (("baseline", quiet_base, busy_base),
-                               ("reap", quiet_reap, busy_reap)):
-        delta = busy / quiet - 1.0
-        result.rows.append({
-            "mode": label,
-            "quiet_ms": round(quiet, 1),
-            "with_background_ms": round(busy, 1),
-            "delta": f"{delta:+.1%}",
-        })
-        result.metrics[f"{label}_delta"] = abs(delta)
-    result.notes.append("paper: results within 5 % of the quiet-host run")
-    return result
+    def assemble(self, payloads, background_functions: int = 20,
+                 **_kwargs) -> ExperimentResult:
+        quiet, busy = payloads
+        result = self.result(
+            f"Cold starts with {background_functions} warm functions (§6.3)")
+        for label, quiet_ms, busy_ms in (
+                ("baseline", quiet["baseline_ms"], busy["baseline_ms"]),
+                ("reap", quiet["reap_ms"], busy["reap_ms"])):
+            delta = busy_ms / quiet_ms - 1.0
+            result.rows.append({
+                "mode": label,
+                "quiet_ms": round(quiet_ms, 1),
+                "with_background_ms": round(busy_ms, 1),
+                "delta": f"{delta:+.1%}",
+            })
+            result.metrics[f"{label}_delta"] = abs(delta)
+        result.notes.append("paper: results within 5 % of the quiet-host run")
+        return result
 
 
-def tail_latency(seed: int = 42, requests: int = 120,
-                 mean_interarrival_s: float = 90.0) -> ExperimentResult:
+class TailLatency(Experiment):
     """Response-time distribution under sporadic traffic (§2.1 + §3.3).
 
     Drives the vHive-style client load generator against an autoscaled
     worker whose keep-alive window is shorter than the mean inter-arrival
     gap -- the Azure-study regime where most invocations are cold.
-    Compares vanilla snapshots against REAP-managed cold starts.
+    Compares vanilla snapshots against REAP-managed cold starts (one
+    cell per scheme; each builds its own testbed and load generator).
     """
-    from repro.orchestrator.autoscaler import Autoscaler, AutoscalerParameters
-    from repro.orchestrator.loadgen import LoadGenerator, TrafficSpec
 
-    result = ExperimentResult(
-        "tail_latency", "Latency distribution under sporadic load (§3.3)")
-    specs = [TrafficSpec("helloworld", mean_interarrival_s, requests),
-             TrafficSpec("pyaes", mean_interarrival_s, requests)]
+    id = "tail_latency"
+    title = "Latency distribution under sporadic load (§3.3)"
+    aliases = ()
 
-    def run(baseline_only: bool) -> dict:
+    FUNCTIONS = ("helloworld", "pyaes")
+
+    def cells(self, seed: int = 42, requests: int = 120,
+              mean_interarrival_s: float = 90.0, **_kwargs) -> list[Cell]:
+        return [self._cell(label, baseline_only=(label == "vanilla"),
+                           seed=seed, requests=requests,
+                           mean_interarrival_s=mean_interarrival_s)
+                for label in ("vanilla", "reap")]
+
+    def run_cell(self, cell: Cell) -> dict:
+        from repro.orchestrator.autoscaler import (
+            Autoscaler,
+            AutoscalerParameters,
+        )
+        from repro.orchestrator.loadgen import LoadGenerator, TrafficSpec
+
+        seed = cell.params["seed"]
+        specs = [TrafficSpec(name, cell.params["mean_interarrival_s"],
+                             cell.params["requests"])
+                 for name in self.FUNCTIONS]
         testbed = Testbed(seed=seed)
         for spec in specs:
             testbed.deploy(get_profile(spec.function))
         scaler = Autoscaler(testbed.orchestrator, AutoscalerParameters(
             keepalive_s=30.0, scan_period_s=10.0))
-        kwargs = {"mode": "vanilla"} if baseline_only else {}
+        kwargs = {"mode": "vanilla"} if cell.params["baseline_only"] else {}
 
         class _Invoker:
             def invoke(self, name, **_ignored):
@@ -205,17 +292,16 @@ def tail_latency(seed: int = 42, requests: int = 120,
         generator = LoadGenerator(testbed.env, _Invoker(), specs, seed=seed)
         stats = testbed.run(generator.run())
         scaler.stop()
-        return stats
 
-    for label, baseline_only in (("vanilla", True), ("reap", False)):
-        stats = run(baseline_only)
+        rows = []
+        metrics = {}
         for spec in specs:
             function_stats = stats[spec.function]
             p50 = function_stats.percentile(0.50)
             p99 = function_stats.percentile(0.99)
             worst = function_stats.percentile(1.0)
-            result.rows.append({
-                "scheme": label,
+            rows.append({
+                "scheme": cell.label,
                 "function": spec.function,
                 "requests": len(function_stats.samples),
                 "cold_fraction": f"{function_stats.cold_fraction:.0%}",
@@ -223,113 +309,151 @@ def tail_latency(seed: int = 42, requests: int = 120,
                 "p99_ms": round(p99, 1),
                 "max_ms": round(worst, 1),
             })
-            result.metrics[f"{label}_{spec.function}_p50"] = p50
-            result.metrics[f"{label}_{spec.function}_p99"] = p99
-    for spec in specs:
-        for quantile in ("p50", "p99"):
-            improvement = (
-                result.metrics[f"vanilla_{spec.function}_{quantile}"]
-                / result.metrics[f"reap_{spec.function}_{quantile}"])
-            result.metrics[f"{spec.function}_{quantile}_improvement"] = \
-                improvement
-    result.notes.append(
-        "sporadic functions (interarrival >> keepalive) are REAP's target "
-        "population (§7.2); p50/p99 are cold starts under both schemes "
-        "and REAP cuts them several-fold, while max_ms still shows the "
-        "one-time record invocation")
-    return result
+            metrics[f"{cell.label}_{spec.function}_p50"] = p50
+            metrics[f"{cell.label}_{spec.function}_p99"] = p99
+        return {"rows": rows, "metrics": metrics}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        for payload in payloads:
+            result.rows.extend(payload["rows"])
+            result.metrics.update(payload["metrics"])
+        for function in self.FUNCTIONS:
+            for quantile in ("p50", "p99"):
+                improvement = (
+                    result.metrics[f"vanilla_{function}_{quantile}"]
+                    / result.metrics[f"reap_{function}_{quantile}"])
+                result.metrics[f"{function}_{quantile}_improvement"] = \
+                    improvement
+        result.notes.append(
+            "sporadic functions (interarrival >> keepalive) are REAP's "
+            "target population (§7.2); p50/p99 are cold starts under both "
+            "schemes and REAP cuts them several-fold, while max_ms still "
+            "shows the one-time record invocation")
+        return result
 
 
-def remote_storage(functions=("helloworld", "pyaes", "json_serdes"),
-                   seed: int = 42) -> ExperimentResult:
+class RemoteStorage(Experiment):
     """§7.1 extension: snapshots on disaggregated (S3/EBS-style) storage.
 
     Lazy paging pays a network round trip per small read; REAP moves the
     same state in one large transfer, so its advantage grows.
     """
-    result = ExperimentResult(
-        "remote_storage", "Snapshots on remote storage (§7.1)")
-    speedups = {"ssd": [], "remote": []}
-    for name in functions:
+
+    id = "remote_storage"
+    title = "Snapshots on remote storage (§7.1)"
+    aliases = ()
+
+    DEFAULT_FUNCTIONS = ("helloworld", "pyaes", "json_serdes")
+
+    def cells(self, functions=DEFAULT_FUNCTIONS, seed: int = 42,
+              **_kwargs) -> list[Cell]:
+        return [self._cell(f"{name}@{storage}", function=name,
+                           storage=storage, seed=seed)
+                for name in functions
+                for storage in ("ssd", "remote")]
+
+    def run_cell(self, cell: Cell) -> dict:
+        name = cell.params["function"]
+        storage = cell.params["storage"]
         profile = get_profile(name)
-        for storage in ("ssd", "remote"):
-            testbed = Testbed(seed=seed, storage=storage)
-            testbed.deploy(profile)
-            baseline = testbed.invoke(name, mode="vanilla").breakdown
-            testbed.invoke(name)  # record
-            reap = testbed.invoke(name).breakdown
-            speedup = baseline.total_ms / reap.total_ms
-            speedups[storage].append(speedup)
-            result.rows.append({
-                "function": name,
-                "storage": storage,
-                "baseline_ms": round(baseline.total_ms, 1),
-                "reap_ms": round(reap.total_ms, 1),
-                "speedup": round(speedup, 2),
-            })
-    result.metrics["local_speedup_geomean"] = geometric_mean(speedups["ssd"])
-    result.metrics["remote_speedup_geomean"] = geometric_mean(
-        speedups["remote"])
-    result.notes.append(
-        "paper §7.1: REAP reduces both the network and the disk "
-        "bottlenecks by proactively moving a minimal amount of state")
-    return result
+        testbed = Testbed(seed=cell.params["seed"], storage=storage)
+        testbed.deploy(profile)
+        baseline = testbed.invoke(name, mode="vanilla").breakdown
+        testbed.invoke(name)  # record
+        reap = testbed.invoke(name).breakdown
+        speedup = baseline.total_ms / reap.total_ms
+        return {"storage": storage, "speedup": speedup, "row": {
+            "function": name,
+            "storage": storage,
+            "baseline_ms": round(baseline.total_ms, 1),
+            "reap_ms": round(reap.total_ms, 1),
+            "speedup": round(speedup, 2),
+        }}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        result.rows = collect(payloads, "row")
+        speedups = {"ssd": [], "remote": []}
+        for payload in payloads:
+            speedups[payload["storage"]].append(payload["speedup"])
+        result.metrics["local_speedup_geomean"] = geometric_mean(
+            speedups["ssd"])
+        result.metrics["remote_speedup_geomean"] = geometric_mean(
+            speedups["remote"])
+        result.notes.append(
+            "paper §7.1: REAP reduces both the network and the disk "
+            "bottlenecks by proactively moving a minimal amount of state")
+        return result
 
 
-def ablations(seed: int = 42) -> ExperimentResult:
+class Ablations(Experiment):
     """Design-choice ablations called out in DESIGN.md.
 
     * host readahead window off/on for the lazy baseline;
     * thin-pool queue depth for the parallel-PF design point;
     * monitor worker count for parallel page-fault handling.
     """
-    result = ExperimentResult("ablations", "Design-choice ablations")
-    function = "helloworld"
 
-    # Readahead window: vanilla restore with fault window 1 vs default 4.
-    for window in (1, 2, 4, 8):
-        params = HostParameters(page_cache=PageCacheParameters(
-            mmap_readahead_pages=window))
-        testbed = Testbed(seed=seed, host_params=params)
-        testbed.deploy(get_profile(function))
-        cold = testbed.invoke(function, mode="vanilla").breakdown
-        result.rows.append({
-            "ablation": "mmap_readahead_pages",
-            "setting": window,
-            "cold_ms": round(cold.total_ms, 1),
-        })
+    id = "ablations"
+    title = "Design-choice ablations"
+    aliases = ()
 
-    # Thin-pool queue depth: gates the parallel-PF point (Fig. 7).
-    for depth in (1, 2, 4, 8, 16):
-        params = HostParameters(thinpool=ThinPoolParameters(
-            queue_depth=depth))
-        testbed = Testbed(seed=seed, host_params=params)
-        testbed.deploy(get_profile(function))
-        testbed.invoke(function)  # record
-        cold = testbed.invoke(function, mode="parallel_pf",
-                              use_warm=False).breakdown
-        result.rows.append({
-            "ablation": "thinpool_queue_depth",
-            "setting": depth,
-            "cold_ms": round(cold.total_ms, 1),
-        })
+    SETTINGS = (
+        ("mmap_readahead_pages", (1, 2, 4, 8)),
+        ("thinpool_queue_depth", (1, 2, 4, 8, 16)),
+        ("parallel_pf_workers", (1, 4, 16, 64)),
+    )
 
-    # Worker goroutines for parallel page-fault handling.
-    from repro.core.manager import ReapParameters
-    for workers in (1, 4, 16, 64):
-        testbed = Testbed(seed=seed,
-                          reap_params=ReapParameters(
-                              parallel_workers=workers))
-        testbed.deploy(get_profile(function))
-        testbed.invoke(function)  # record
-        cold = testbed.invoke(function, mode="parallel_pf",
-                              use_warm=False).breakdown
-        result.rows.append({
-            "ablation": "parallel_pf_workers",
-            "setting": workers,
+    def cells(self, seed: int = 42, **_kwargs) -> list[Cell]:
+        return [self._cell(f"{ablation}={setting}", ablation=ablation,
+                           setting=setting, seed=seed)
+                for ablation, settings in self.SETTINGS
+                for setting in settings]
+
+    def run_cell(self, cell: Cell) -> dict:
+        from repro.core.manager import ReapParameters
+
+        ablation = cell.params["ablation"]
+        setting = cell.params["setting"]
+        seed = cell.params["seed"]
+        function = "helloworld"
+        if ablation == "mmap_readahead_pages":
+            # Readahead window: vanilla restore, no record needed.
+            params = HostParameters(page_cache=PageCacheParameters(
+                mmap_readahead_pages=setting))
+            testbed = Testbed(seed=seed, host_params=params)
+            testbed.deploy(get_profile(function))
+            cold = testbed.invoke(function, mode="vanilla").breakdown
+        elif ablation == "thinpool_queue_depth":
+            # Thin-pool queue depth: gates the parallel-PF point (Fig. 7).
+            params = HostParameters(thinpool=ThinPoolParameters(
+                queue_depth=setting))
+            testbed = Testbed(seed=seed, host_params=params)
+            testbed.deploy(get_profile(function))
+            testbed.invoke(function)  # record
+            cold = testbed.invoke(function, mode="parallel_pf",
+                                  use_warm=False).breakdown
+        elif ablation == "parallel_pf_workers":
+            testbed = Testbed(seed=seed,
+                              reap_params=ReapParameters(
+                                  parallel_workers=setting))
+            testbed.deploy(get_profile(function))
+            testbed.invoke(function)  # record
+            cold = testbed.invoke(function, mode="parallel_pf",
+                                  use_warm=False).breakdown
+        else:
+            raise ValueError(f"unknown ablation {ablation!r}")
+        return {"row": {
+            "ablation": ablation,
+            "setting": setting,
             "cold_ms": round(cold.total_ms, 1),
-        })
-    result.notes.append(
-        "readahead and thin-pool depth shape the baseline; REAP depends on "
-        "neither, which is the point of the single large read")
-    return result
+        }}
+
+    def assemble(self, payloads, **_kwargs) -> ExperimentResult:
+        result = self.result()
+        result.rows = collect(payloads, "row")
+        result.notes.append(
+            "readahead and thin-pool depth shape the baseline; REAP depends "
+            "on neither, which is the point of the single large read")
+        return result

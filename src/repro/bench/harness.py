@@ -1,4 +1,10 @@
-"""Experiment scaffolding: a ready-made testbed and result container."""
+"""Experiment scaffolding: a ready-made testbed and result container.
+
+See also :mod:`repro.bench.experiments.spec` (the declarative
+cell split built on :class:`Testbed`), :mod:`repro.bench.runner`
+(parallel execution), and :mod:`repro.analysis.report` (rendering
+:class:`ExperimentResult` as text, JSON, or CSV).
+"""
 
 from __future__ import annotations
 
@@ -78,6 +84,27 @@ class ExperimentResult:
         for note in self.notes:
             parts.append(f"note: {note}")
         return "\n\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (``--format json`` and the cache)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": self.rows,
+            "metrics": self.metrics,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, blob: Mapping[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; round-trips exactly."""
+        return cls(
+            experiment=blob["experiment"],
+            title=blob["title"],
+            rows=list(blob.get("rows", [])),
+            metrics=dict(blob.get("metrics", {})),
+            notes=list(blob.get("notes", [])),
+        )
 
 
 def metrics_within(result: ExperimentResult,

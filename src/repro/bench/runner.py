@@ -1,0 +1,198 @@
+"""Parallel sharded execution of experiment cells with result caching.
+
+The runner shards work at two granularities:
+
+* ``shard="cells"`` (default): every requested experiment is expanded
+  into its independent cells up front; the union of all cache misses is
+  executed on a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+  each experiment is assembled from its payloads afterwards.  This is
+  the finest-grained mode -- a single big experiment already saturates
+  ``--jobs`` workers.
+* ``shard="experiments"``: whole experiments are the unit of dispatch;
+  each worker process runs one experiment's cells serially (still
+  consulting the shared on-disk cache).  Coarser, but the natural mode
+  when experiments are numerous and individually small.
+
+Both modes produce results byte-identical to the serial in-process path
+(:meth:`repro.bench.experiments.spec.Experiment.run`): cells are pure
+functions of their parameters, ``ProcessPoolExecutor.map`` preserves
+submission order, and every payload -- fresh or cached -- goes through
+:func:`repro.bench.cache.canonicalize`.
+
+See also :mod:`repro.bench.cache` (the store) and
+:mod:`repro.bench.__main__` (the CLI wiring ``--jobs`` / ``--force`` /
+``--shard``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.bench.cache import ResultCache, canonicalize
+from repro.bench.experiments import EXPERIMENTS, resolve
+from repro.bench.experiments.spec import Cell
+from repro.bench.harness import ExperimentResult
+
+
+@dataclass
+class RunStats:
+    """Accounting for one :meth:`Runner.run` call."""
+
+    cells_total: int = 0
+    cache_hits: int = 0
+    cells_executed: int = 0
+    #: Distinct OS pids that executed at least one cell/experiment --
+    #: the evidence that ``--jobs N`` really fanned out.
+    worker_pids: set[int] = field(default_factory=set)
+    elapsed_s: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON form for ``--format json`` output."""
+        return {
+            "cells_total": self.cells_total,
+            "cache_hits": self.cache_hits,
+            "cells_executed": self.cells_executed,
+            "workers": len(self.worker_pids),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        return (f"{self.cells_executed} cell(s) simulated on "
+                f"{len(self.worker_pids)} worker(s), "
+                f"{self.cache_hits}/{self.cells_total} from cache, "
+                f"{self.elapsed_s:.1f}s")
+
+
+@dataclass
+class RunOutcome:
+    """Assembled results (in request order) plus run accounting."""
+
+    results: list[ExperimentResult]
+    stats: RunStats
+
+
+def execute_cell(cell: Cell) -> tuple[Any, int]:
+    """Run one cell; module-level so worker processes can unpickle it."""
+    payload = EXPERIMENTS[cell.experiment].run_cell(cell)
+    return canonicalize(payload), os.getpid()
+
+
+def execute_experiment(spec: tuple[str, dict, str | None, bool],
+                       ) -> tuple[ExperimentResult, RunStats]:
+    """Run one whole experiment serially (worker side of ``shard="experiments"``)."""
+    experiment_id, kwargs, cache_root, force = spec
+    cache = ResultCache(cache_root) if cache_root is not None else None
+    experiment = EXPERIMENTS[experiment_id]
+    stats = RunStats()
+    stats.worker_pids.add(os.getpid())
+    payloads = []
+    for cell in experiment.cells(**kwargs):
+        stats.cells_total += 1
+        payload = None if (cache is None or force) else cache.get(cell)
+        if payload is None:
+            payload, _pid = execute_cell(cell)
+            stats.cells_executed += 1
+            if cache is not None:
+                cache.put(cell, payload)
+        else:
+            stats.cache_hits += 1
+        payloads.append(payload)
+    return experiment.assemble(payloads, **kwargs), stats
+
+
+class Runner:
+    """Sharded, cached executor for one or more experiments."""
+
+    def __init__(self, jobs: int = 1, cache: ResultCache | None = None,
+                 force: bool = False, shard: str = "cells") -> None:
+        if shard not in ("cells", "experiments"):
+            raise ValueError(f"unknown shard granularity {shard!r}")
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.force = force
+        self.shard = shard
+
+    def run(self, names: Sequence[str], **kwargs: Any) -> RunOutcome:
+        """Run ``names`` (ids or aliases) and assemble their results.
+
+        Unknown names raise :class:`KeyError` before any work starts.
+        """
+        ids = [resolve(name) for name in names]
+        started = time.perf_counter()
+        if self.shard == "experiments":
+            outcome = self._run_experiment_sharded(ids, kwargs)
+        else:
+            outcome = self._run_cell_sharded(ids, kwargs)
+        outcome.stats.elapsed_s = time.perf_counter() - started
+        return outcome
+
+    # -- cell granularity --------------------------------------------------
+
+    def _run_cell_sharded(self, ids: list[str], kwargs: dict) -> RunOutcome:
+        plans = [(experiment_id, EXPERIMENTS[experiment_id].cells(**kwargs))
+                 for experiment_id in ids]
+        stats = RunStats(cells_total=sum(len(cells) for _, cells in plans))
+        payloads: dict[tuple[str, int], Any] = {}
+        pending: list[tuple[str, int, Cell]] = []
+        for experiment_id, cells in plans:
+            for index, cell in enumerate(cells):
+                cached = None if (self.cache is None or self.force) \
+                    else self.cache.get(cell)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    payloads[experiment_id, index] = cached
+                else:
+                    pending.append((experiment_id, index, cell))
+
+        if pending:
+            executed = self._execute_cells([cell for *_key, cell in pending])
+            for (experiment_id, index, cell), (payload, pid) in zip(
+                    pending, executed):
+                stats.cells_executed += 1
+                stats.worker_pids.add(pid)
+                payloads[experiment_id, index] = payload
+                if self.cache is not None:
+                    self.cache.put(cell, payload)
+
+        results = [
+            EXPERIMENTS[experiment_id].assemble(
+                [payloads[experiment_id, index]
+                 for index in range(len(cells))], **kwargs)
+            for experiment_id, cells in plans
+        ]
+        return RunOutcome(results=results, stats=stats)
+
+    def _execute_cells(self, cells: list[Cell]) -> list[tuple[Any, int]]:
+        if self.jobs == 1 or len(cells) == 1:
+            return [execute_cell(cell) for cell in cells]
+        workers = min(self.jobs, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_cell, cells))
+
+    # -- experiment granularity --------------------------------------------
+
+    def _run_experiment_sharded(self, ids: list[str],
+                                kwargs: dict) -> RunOutcome:
+        cache_root = None if self.cache is None else str(self.cache.root)
+        specs = [(experiment_id, kwargs, cache_root, self.force)
+                 for experiment_id in ids]
+        if self.jobs == 1 or len(specs) == 1:
+            executed = [execute_experiment(spec) for spec in specs]
+        else:
+            workers = min(self.jobs, len(specs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                executed = list(pool.map(execute_experiment, specs))
+        stats = RunStats()
+        results = []
+        for result, worker_stats in executed:
+            results.append(result)
+            stats.cells_total += worker_stats.cells_total
+            stats.cache_hits += worker_stats.cache_hits
+            stats.cells_executed += worker_stats.cells_executed
+            stats.worker_pids |= worker_stats.worker_pids
+        return RunOutcome(results=results, stats=stats)

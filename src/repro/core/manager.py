@@ -8,6 +8,11 @@ recorded working set against the prefetched page count.  A recording
 that keeps mispredicting (the paper's pathological "first invocation is
 not representative" case) is either re-recorded or the function falls
 back to vanilla snapshots, exactly as §7.2 prescribes.
+
+See also :mod:`repro.core.policies` (the policies being selected),
+:mod:`repro.core.monitor` (the goroutines serving faults), and the
+``fallback`` experiment in :mod:`repro.bench.experiments.reap_eval`
+which exercises this state machine end to end.
 """
 
 from __future__ import annotations

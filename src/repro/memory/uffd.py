@@ -19,6 +19,10 @@ The simulation keeps the same three-party protocol:
 
 Double-faults on a page already being served coalesce onto the same
 event, as the kernel does.
+
+See also :mod:`repro.core.monitor` (the monitor-side consumers),
+:mod:`repro.memory.guest` (where pages get installed), and
+:mod:`repro.vm.vcpu` (the faulting side).
 """
 
 from __future__ import annotations

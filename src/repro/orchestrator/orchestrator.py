@@ -17,6 +17,12 @@ The invocation path mirrors the paper's breakdown exactly:
 Warm instances (memory-resident, connected) skip all restore work and
 serve at their warm latency, which is how the paper's warm bars and the
 warm-background experiment run.
+
+See also :mod:`repro.core.manager` (which policy a cold start gets),
+:mod:`repro.core.policies` (what each policy does),
+:mod:`repro.vm.snapshot` (instantiation), and
+``docs/architecture.md`` for the full layer-by-layer walk-through of
+this path.
 """
 
 from __future__ import annotations

@@ -14,6 +14,10 @@ Two properties matter for reproduction quality:
 * **Error transparency.**  An exception raised inside a process propagates
   to whoever waits on it (and out of :meth:`Environment.run` if nobody
   does), so broken models fail loudly instead of silently dropping work.
+
+See also :mod:`repro.sim.rng` (the other half of the determinism
+story: named seed derivation) and the "How determinism works" note in
+``docs/experiments.md``.
 """
 
 from __future__ import annotations

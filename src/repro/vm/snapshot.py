@@ -12,6 +12,10 @@ A snapshot is two files, both placed behind the host's thin-pool device
 The store tracks the latest snapshot per function.  Restore policies
 (in :mod:`repro.core`) decide *how* pages get from the memory file into
 a new instance's guest memory.
+
+See also :mod:`repro.core.policies` (lazy vs prefetched population),
+:mod:`repro.storage.thinpool` (the device path both files sit behind),
+and step 2 of the cold-start walk-through in ``docs/architecture.md``.
 """
 
 from __future__ import annotations

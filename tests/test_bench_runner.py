@@ -1,0 +1,212 @@
+"""Tests for the parallel sharded runner and the result cache.
+
+The contract under test: parallel and serial execution of the same
+experiment produce byte-identical reports, the cache turns re-runs into
+no-ops (and misses when the configuration changes), and the JSON output
+round-trips losslessly.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.cache import ResultCache, canonicalize, code_version
+from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve, run_experiment
+from repro.bench.experiments.spec import Cell
+from repro.bench.harness import ExperimentResult
+from repro.bench.runner import Runner
+
+FAST = ["fig3", "fio"]  # trace/device-level experiments, no full testbeds
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def renders(outcome):
+    return [result.render() for result in outcome.results]
+
+
+# -- declarative cell split ----------------------------------------------
+
+
+def test_every_experiment_declares_cells():
+    for name, experiment in EXPERIMENTS.items():
+        cells = experiment.cells(seed=42)
+        assert cells, name
+        for cell in cells:
+            assert cell.experiment == name
+            # Params must survive the cache's JSON round-trip untouched.
+            assert canonicalize(cell.params) == cell.params
+
+
+def test_cells_respect_function_subset():
+    cells = EXPERIMENTS["fig8"].cells(functions=["helloworld"], seed=42)
+    assert len(cells) == 1
+    assert cells[0].params["function"] == "helloworld"
+
+
+def test_aliases_resolve_to_canonical_ids():
+    assert resolve("fig8_reap_speedup") == "fig8"
+    assert resolve("fig8") == "fig8"
+    assert ALIASES["table1_catalog"] == "table1"
+    with pytest.raises(KeyError, match="known:"):
+        resolve("fig99")
+
+
+def test_run_experiment_accepts_alias():
+    result = run_experiment("fig3_contiguity", functions=["helloworld"])
+    assert result.experiment == "fig3"
+
+
+# -- parallel == serial ---------------------------------------------------
+
+
+def test_parallel_and_serial_runs_are_byte_identical():
+    serial = Runner(jobs=1).run(FAST, seed=42)
+    parallel = Runner(jobs=2).run(FAST, seed=42)
+    assert renders(serial) == renders(parallel)
+    # And both match the plain in-process API.
+    assert serial.results[0].render() == run_experiment("fig3").render()
+
+
+def test_parallel_run_executes_cells_in_worker_processes():
+    import os
+
+    outcome = Runner(jobs=2).run(["fig3"], seed=42)
+    assert outcome.stats.cells_executed == 10
+    # Deterministic fan-out evidence: with jobs > 1 every cell runs in
+    # a pool child, never in this process.  (Whether both workers get
+    # cells depends on OS scheduling, so only an upper bound is exact.)
+    assert outcome.stats.worker_pids
+    assert os.getpid() not in outcome.stats.worker_pids
+    assert len(outcome.stats.worker_pids) <= 2
+
+
+def test_serial_run_executes_cells_in_process():
+    import os
+
+    outcome = Runner(jobs=1).run(["fig3"], seed=42)
+    assert outcome.stats.worker_pids == {os.getpid()}
+
+
+def test_experiment_granularity_sharding_matches():
+    import os
+
+    by_cell = Runner(jobs=2, shard="cells").run(FAST, seed=42)
+    by_experiment = Runner(jobs=2, shard="experiments").run(FAST, seed=42)
+    assert renders(by_cell) == renders(by_experiment)
+    assert by_experiment.stats.worker_pids
+    assert os.getpid() not in by_experiment.stats.worker_pids
+
+
+def test_unknown_shard_granularity_rejected():
+    with pytest.raises(ValueError):
+        Runner(shard="functions")
+
+
+def test_runner_rejects_unknown_experiment_before_work():
+    with pytest.raises(KeyError, match="fig99"):
+        Runner().run(["fig99"])
+
+
+# -- cache ----------------------------------------------------------------
+
+
+def test_second_run_hits_cache_and_is_identical(cache):
+    cold = Runner(jobs=1, cache=cache).run(FAST, seed=42)
+    assert cold.stats.cache_hits == 0
+    assert cold.stats.cells_executed == cold.stats.cells_total == 13
+    warm = Runner(jobs=1, cache=cache).run(FAST, seed=42)
+    assert warm.stats.cache_hits == 13
+    assert warm.stats.cells_executed == 0
+    assert renders(cold) == renders(warm)
+
+
+def test_config_change_invalidates_cache(cache):
+    Runner(cache=cache).run(["fig3"], seed=42, functions=["helloworld"])
+    changed_seed = Runner(cache=cache).run(
+        ["fig3"], seed=7, functions=["helloworld"])
+    assert changed_seed.stats.cache_hits == 0
+    changed_functions = Runner(cache=cache).run(
+        ["fig3"], seed=42, functions=["pyaes"])
+    assert changed_functions.stats.cache_hits == 0
+
+
+def test_cache_is_shared_across_experiment_subsets(cache):
+    # Cells, not whole experiments, are the cache unit: a full-suite run
+    # warms every per-function cell, so a later subset run is free.
+    Runner(cache=cache).run(["fig3"], seed=42)
+    subset = Runner(cache=cache).run(
+        ["fig3"], seed=42, functions=["video_processing"])
+    assert subset.stats.cache_hits == 1
+    assert subset.stats.cells_executed == 0
+
+
+def test_code_version_change_invalidates_cache(tmp_path):
+    cell = Cell("fig3", "helloworld", {"function": "helloworld", "seed": 1})
+    old = ResultCache(tmp_path, version="aaaa")
+    new = ResultCache(tmp_path, version="bbbb")
+    old.put(cell, {"row": {"x": 1}})
+    assert old.get(cell) == {"row": {"x": 1}}
+    assert new.get(cell) is None
+    assert old.key(cell) != new.key(cell)
+
+
+def test_force_reexecutes_but_result_is_stable(cache):
+    first = Runner(cache=cache).run(["fio"], seed=42)
+    forced = Runner(cache=cache, force=True).run(["fio"], seed=42)
+    assert forced.stats.cache_hits == 0
+    assert forced.stats.cells_executed == 3
+    assert renders(first) == renders(forced)
+
+
+def test_cache_preserves_row_column_order(cache):
+    cell = EXPERIMENTS["fig3"].cells(functions=["helloworld"], seed=42)[0]
+    payload = EXPERIMENTS["fig3"].run_cell(cell)
+    cache.put(cell, payload)
+    assert list(cache.get(cell)["row"]) == list(payload["row"])
+
+
+def test_clear_empties_the_cache(cache):
+    Runner(cache=cache).run(["fio"], seed=42)
+    assert cache.entries() == 3
+    assert cache.clear() == 3
+    assert cache.entries() == 0
+    assert cache.clear() == 0
+
+
+def test_clear_leaves_foreign_files_alone(tmp_path):
+    # clean-cache pointed at a directory with unrelated content must
+    # only remove the cache's own shard entries.
+    cache = ResultCache(tmp_path)
+    Runner(cache=cache).run(["fio"], seed=42)
+    precious = tmp_path / "precious.txt"
+    precious.write_text("do not delete")
+    nested = tmp_path / "data" / "results.json"
+    nested.parent.mkdir()
+    nested.write_text("{}")
+    assert cache.clear() == 3
+    assert precious.read_text() == "do not delete"
+    assert nested.exists()
+
+
+def test_code_version_is_stable_and_short():
+    assert code_version() == code_version()
+    assert len(code_version()) == 16
+
+
+# -- json round-trip ------------------------------------------------------
+
+
+def test_format_json_round_trips(capsys, tmp_path):
+    assert main(["run", "fio", "--format", "json",
+                 "--cache-dir", str(tmp_path)]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["stats"]["cells_total"] == 3
+    [decoded] = [ExperimentResult.from_dict(entry)
+                 for entry in blob["experiments"]]
+    assert decoded.render() == run_experiment("fio").render()
+    assert decoded.to_dict() == blob["experiments"][0]

@@ -1,6 +1,11 @@
 """Tests for the ``python -m repro.bench`` command-line interface."""
 
+import json
+
+import pytest
+
 from repro.bench.__main__ import main
+from repro.bench.experiments import EXPERIMENTS
 
 
 def test_cli_list(capsys):
@@ -8,16 +13,108 @@ def test_cli_list(capsys):
     out = capsys.readouterr().out
     assert "fig8" in out
     assert "table1" in out
+    assert len(out.strip().splitlines()) == len(EXPERIMENTS)
 
 
-def test_cli_runs_single_experiment(capsys):
-    assert main(["table1"]) == 0
+def test_cli_runs_single_experiment(capsys, tmp_path):
+    assert main(["table1", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "helloworld" in out
     assert "Table 1" in out
 
 
-def test_cli_seed_flag(capsys):
-    assert main(["fig3", "--seed", "7"]) == 0
+def test_cli_seed_flag(capsys, tmp_path):
+    assert main(["fig3", "--seed", "7", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "mean_run_length" in out
+
+
+def test_cli_run_subcommand_with_alias(capsys, tmp_path):
+    assert main(["run", "fig3_contiguity", "--no-cache"]) == 0
+    assert "fig3" in capsys.readouterr().out
+
+
+def test_cli_run_multiple_experiments(capsys):
+    assert main(["run", "fig3", "fio", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out
+    assert "fio" in out
+
+
+def test_cli_unknown_experiment_is_a_helpful_error(capsys):
+    assert main(["run", "fig99", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig99'" in err
+    assert "fig8" in err  # the valid ids are listed
+    assert "fig8_reap_speedup" in err  # and the aliases
+
+
+def test_cli_legacy_positional_unknown_id_no_traceback(capsys):
+    # Historically this fell through to a bare KeyError traceback.
+    assert main(["definitely_not_real", "--no-cache"]) == 2
+    assert "valid ids" in capsys.readouterr().err
+
+
+def test_cli_jobs_flag(capsys, tmp_path):
+    assert main(["run", "fig3", "--jobs", "2",
+                 "--cache-dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "mean_run_length" in captured.out
+    assert "worker(s)" in captured.err
+
+
+def test_cli_legacy_flag_first_order(capsys, tmp_path):
+    # The pre-subcommand parser accepted flags before the experiment.
+    assert main(["--seed", "7", "fig3", "--cache-dir", str(tmp_path)]) == 0
+    assert "mean_run_length" in capsys.readouterr().out
+
+
+def test_cli_stats_go_to_stderr_not_stdout(capsys):
+    assert main(["run", "fio", "--no-cache"]) == 0
+    captured = capsys.readouterr()
+    assert "from cache" in captured.err
+    assert "from cache" not in captured.out
+
+
+def test_cli_format_json(capsys):
+    assert main(["run", "fio", "--format", "json", "--no-cache"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["experiments"][0]["experiment"] == "fio"
+    assert blob["stats"]["cells_total"] == 3
+
+
+def test_cli_format_csv(capsys):
+    assert main(["run", "fig3", "--format", "csv", "--no-cache"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0].startswith("experiment,function,mean_run_length")
+    assert len(lines) == 11  # header + ten functions
+
+
+def test_cli_force_flag(capsys, tmp_path):
+    assert main(["run", "fio", "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["run", "fio", "--force", "--cache-dir", str(tmp_path)]) == 0
+    assert "0/3 from cache" in capsys.readouterr().err
+
+
+def test_cli_cached_second_run(capsys, tmp_path):
+    assert main(["run", "fio", "--cache-dir", str(tmp_path)]) == 0
+    first = capsys.readouterr()
+    assert main(["run", "fio", "--cache-dir", str(tmp_path)]) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out
+    assert "3/3 from cache" in second.err
+
+
+def test_cli_clean_cache(capsys, tmp_path):
+    assert main(["run", "fio", "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["clean-cache", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 3" in capsys.readouterr().out
+    assert main(["clean-cache", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_cli_requires_a_command():
+    with pytest.raises(SystemExit):
+        main([])
