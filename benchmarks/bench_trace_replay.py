@@ -1,0 +1,22 @@
+"""§2.1 extension: trace-driven replay across Azure-like rate classes."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_trace_replay(benchmark, report):
+    result = run_once(benchmark, run_experiment, "trace_replay")
+    report(result)
+    # Sporadic traffic is the Azure regime (§2.1): inter-arrival gaps
+    # dwarf the keep-alive window, so most invocations are cold under
+    # either scheme -- the population REAP targets.
+    assert result.metrics["sporadic_vanilla_cold_fraction"] > 0.5
+    assert result.metrics["sporadic_reap_cold_fraction"] > 0.5
+    # Periodic timers land inside the keep-alive window and stay warm.
+    assert result.metrics["periodic_vanilla_cold_fraction"] < 0.3
+    # REAP cuts the cold-dominated tails several-fold (Fig. 8 regime).
+    assert result.metrics["sporadic_p99_improvement"] > 2.0
+    assert result.metrics["bursty_p99_improvement"] > 2.0
+    for row in result.rows:
+        assert row["invocations"] > 0

@@ -1,0 +1,20 @@
+"""§3.2 extension: the mixed Azure population replayed at cluster scale."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_trace_scale(benchmark, report):
+    result = run_once(benchmark, run_experiment, "trace_scale")
+    report(result)
+    # REAP keeps a several-fold p99 advantage at the largest fleet.
+    assert result.metrics["p99_improvement_at_max_scale"] > 2.0
+    for n_workers in (1, 2, 4):
+        vanilla = result.metrics[f"w{n_workers}_vanilla_cold_fraction"]
+        reap = result.metrics[f"w{n_workers}_reap_cold_fraction"]
+        # Faster cold starts refill the warm pool sooner, so REAP never
+        # runs at a higher cold fraction than the lazy baseline.
+        assert reap <= vanilla + 0.02
+        # Warm-affinity routing keeps the mix mostly warm at any size.
+        assert vanilla < 0.5

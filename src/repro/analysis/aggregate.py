@@ -101,6 +101,24 @@ def spread(values: Sequence[float]) -> dict[str, float]:
     }
 
 
+def percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    The single implementation behind every latency quantile the
+    experiments report (``fraction=0.99`` is the p99):
+    :class:`repro.orchestrator.loadgen.LoadStats` delegates here for
+    per-function tails, and the trace experiments pool samples across
+    functions and call it directly.  Raises ``ValueError`` on an empty
+    sequence or a fraction outside ``(0, 1]``.
+    """
+    if not ordered:
+        raise ValueError("no samples")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rank = max(math.ceil(fraction * len(ordered)) - 1, 0)
+    return ordered[rank]
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's 3.7x average speedup is geometric)."""
     values = list(values)

@@ -5,6 +5,8 @@ Subcommands::
     list                      show every experiment id (and its title)
     run EXPERIMENT [...]      run one or more experiments by id/alias
     all                       run every experiment
+    trace generate FILE       synthesize an invocation trace to a file
+    trace inspect FILE        summarize a trace file's shape
     clean-cache               drop the on-disk result cache
 
 ``run`` and ``all`` share the execution flags: ``--jobs N`` fans cells
@@ -13,6 +15,11 @@ out over N worker processes, ``--seed`` picks the experiment seed,
 disables the cache entirely, ``--cache-dir`` relocates it,
 ``--shard cells|experiments`` picks the dispatch granularity, and
 ``--format table|json|csv`` selects the output encoding.
+
+``trace generate`` is deterministic: the same ``(--rate-class,
+--functions, --duration, --seed)`` always writes a byte-identical file
+(see :mod:`repro.orchestrator.trace`).  The ``trace_*`` experiments run
+through ``run`` like any other id.
 
 The historical spelling ``python -m repro.bench <experiment>`` (no
 subcommand) still works and means ``run <experiment>``.
@@ -23,14 +30,15 @@ See also :mod:`repro.bench.runner` and :mod:`repro.bench.cache`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis.report import render_csv, render_json
+from repro.analysis.report import format_table, render_csv, render_json
 from repro.bench.cache import ResultCache
 from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve
 from repro.bench.runner import Runner
 
-COMMANDS = ("list", "run", "all", "clean-cache")
+COMMANDS = ("list", "run", "all", "trace", "clean-cache")
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -71,6 +79,34 @@ def _build_parser() -> argparse.ArgumentParser:
     everything = commands.add_parser("all", help="run every experiment")
     _add_run_flags(everything)
 
+    trace = commands.add_parser(
+        "trace", help="generate / inspect invocation trace files")
+    actions = trace.add_subparsers(dest="action", required=True)
+    generate = actions.add_parser(
+        "generate", help="synthesize a deterministic trace to FILE")
+    generate.add_argument("output", metavar="FILE",
+                          help="trace file to write (JSON lines)")
+    generate.add_argument("--rate-class", default="azure",
+                          dest="rate_class",
+                          help="sporadic | periodic | bursty | azure "
+                               "(default: azure, the mixed population)")
+    generate.add_argument("--functions", default="helloworld,pyaes,"
+                                                 "json_serdes",
+                          metavar="A,B,...",
+                          help="comma-separated catalog function names")
+    generate.add_argument("--duration", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="trace length in seconds (default: 600)")
+    generate.add_argument("--seed", type=int, default=42,
+                          help="generator seed (default: 42)")
+    inspect = actions.add_parser(
+        "inspect", help="summarize a trace file's shape")
+    inspect.add_argument("trace_file", metavar="FILE",
+                         help="trace file to read")
+    inspect.add_argument("--format", choices=("table", "json"),
+                         default="table", dest="fmt",
+                         help="output encoding (default: table)")
+
     clean = commands.add_parser("clean-cache",
                                 help="delete cached cell results")
     clean.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -98,6 +134,52 @@ def _cmd_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name, experiment in EXPERIMENTS.items():
         print(f"{name.ljust(width)}  {experiment.title}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.orchestrator.trace import InvocationTrace, TraceSpec, synthesize
+
+    if args.action == "generate":
+        from repro.functions import get_profile
+
+        names = tuple(name.strip() for name in args.functions.split(",")
+                      if name.strip())
+        try:
+            for name in names:
+                get_profile(name)
+            spec = TraceSpec(functions=names, rate_class=args.rate_class,
+                             duration_s=args.duration)
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        trace = synthesize(spec, seed=args.seed)
+        try:
+            trace.save(args.output)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {len(trace)} event(s) over "
+              f"{trace.duration_s:.1f}s for {len(names)} function(s) "
+              f"to {args.output}")
+        return 0
+
+    try:
+        trace = InvocationTrace.load(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    summary = trace.summary()
+    if args.fmt == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{summary['events']} event(s), {summary['functions']} "
+              f"function(s), {summary['duration_s']}s")
+        if summary["meta"]:
+            print(f"meta: {json.dumps(summary['meta'])}")
+        if summary["per_function"]:
+            print()
+            print(format_table(summary["per_function"]))
     return 0
 
 
@@ -140,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "clean-cache":
             return _cmd_clean_cache(args)
         names = list(EXPERIMENTS) if args.command == "all" \

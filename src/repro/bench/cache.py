@@ -47,7 +47,17 @@ def canonicalize(payload: Any) -> Any:
 
 @functools.lru_cache(maxsize=1)
 def code_version() -> str:
-    """Digest of every ``.py`` file in the installed ``repro`` package."""
+    """Digest of every ``.py`` file in the installed ``repro`` package.
+
+    Hashing the whole tree takes a few milliseconds, so the result is
+    ``lru_cache``d **per process** and computed once in the parent: the
+    runner ships it to worker processes inside each
+    :class:`ResultCache` / work spec instead of letting every pool
+    worker re-walk ``src/repro`` on startup.  The flip side of the
+    cache: editing source files *within* a running process (or while a
+    long ``bench all`` is in flight) is not noticed -- the digest is
+    whatever the tree looked like when the parent first asked.
+    """
     import repro
 
     root = pathlib.Path(repro.__file__).resolve().parent

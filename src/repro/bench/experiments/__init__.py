@@ -36,6 +36,10 @@ from repro.bench.experiments.scale_eval import (
     WarmBackground,
 )
 from repro.bench.experiments.spec import Cell, Experiment
+from repro.bench.experiments.trace_eval import (
+    TraceClusterScale,
+    TraceReplayEval,
+)
 from repro.bench.harness import ExperimentResult
 
 __all__ = [
@@ -67,6 +71,8 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
         Ablations(),
         RemoteStorage(),
         TailLatency(),
+        TraceReplayEval(),
+        TraceClusterScale(),
     )
 }
 

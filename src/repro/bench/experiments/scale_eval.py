@@ -272,7 +272,11 @@ class TailLatency(Experiment):
             Autoscaler,
             AutoscalerParameters,
         )
-        from repro.orchestrator.loadgen import LoadGenerator, TrafficSpec
+        from repro.orchestrator.loadgen import (
+            LoadGenerator,
+            SchemeInvoker,
+            TrafficSpec,
+        )
 
         seed = cell.params["seed"]
         specs = [TrafficSpec(name, cell.params["mean_interarrival_s"],
@@ -283,13 +287,10 @@ class TailLatency(Experiment):
             testbed.deploy(get_profile(spec.function))
         scaler = Autoscaler(testbed.orchestrator, AutoscalerParameters(
             keepalive_s=30.0, scan_period_s=10.0))
-        kwargs = {"mode": "vanilla"} if cell.params["baseline_only"] else {}
-
-        class _Invoker:
-            def invoke(self, name, **_ignored):
-                return scaler.invoke(name, **kwargs)
-
-        generator = LoadGenerator(testbed.env, _Invoker(), specs, seed=seed)
+        scheme = "vanilla" if cell.params["baseline_only"] else "reap"
+        generator = LoadGenerator(testbed.env,
+                                  SchemeInvoker(scaler, scheme), specs,
+                                  seed=seed)
         stats = testbed.run(generator.run())
         scaler.stop()
 

@@ -82,11 +82,16 @@ def execute_cell(cell: Cell) -> tuple[Any, int]:
     return canonicalize(payload), os.getpid()
 
 
-def execute_experiment(spec: tuple[str, dict, str | None, bool],
+def execute_experiment(spec: tuple[str, dict, str | None, bool, str | None],
                        ) -> tuple[ExperimentResult, RunStats]:
-    """Run one whole experiment serially (worker side of ``shard="experiments"``)."""
-    experiment_id, kwargs, cache_root, force = spec
-    cache = ResultCache(cache_root) if cache_root is not None else None
+    """Run one whole experiment serially (worker side of ``shard="experiments"``).
+
+    ``spec`` carries the parent's code-version digest so workers never
+    re-hash the source tree (see :func:`repro.bench.cache.code_version`).
+    """
+    experiment_id, kwargs, cache_root, force, version = spec
+    cache = ResultCache(cache_root, version=version) \
+        if cache_root is not None else None
     experiment = EXPERIMENTS[experiment_id]
     stats = RunStats()
     stats.worker_pids.add(os.getpid())
@@ -179,7 +184,9 @@ class Runner:
     def _run_experiment_sharded(self, ids: list[str],
                                 kwargs: dict) -> RunOutcome:
         cache_root = None if self.cache is None else str(self.cache.root)
-        specs = [(experiment_id, kwargs, cache_root, self.force)
+        cache_version = None if self.cache is None else self.cache.version
+        specs = [(experiment_id, kwargs, cache_root, self.force,
+                  cache_version)
                  for experiment_id in ids]
         if self.jobs == 1 or len(specs) == 1:
             executed = [execute_experiment(spec) for spec in specs]

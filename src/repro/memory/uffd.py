@@ -114,8 +114,18 @@ class UserFaultFd:
 
         Returns the number of pages actually installed (already-present
         pages are skipped, as ``UFFDIO_COPY`` reports ``EEXIST``).
+
+        A ``data`` list whose length differs from ``pages`` raises
+        :class:`UffdError` before any page is installed -- the kernel
+        rejects a malformed ``uffdio_copy`` range up front, and a
+        mid-batch failure here would leave the region partially
+        populated with some waiters already woken.
         """
         self._check_open()
+        if data is not None and len(data) != len(pages):
+            raise UffdError(
+                f"copy_batch: {len(pages)} page(s) but {len(data)} "
+                f"payload(s)")
         installed = 0
         for index, page in enumerate(pages):
             if self.memory.is_present(page):

@@ -17,6 +17,8 @@ from repro.orchestrator.cluster import Cluster, LoadBalancer
 from repro.orchestrator.loadgen import (
     LoadGenerator,
     LoadStats,
+    SchemeInvoker,
+    TraceReplayer,
     TrafficSpec,
 )
 from repro.orchestrator.orchestrator import (
@@ -24,6 +26,12 @@ from repro.orchestrator.orchestrator import (
     InvocationResult,
     Orchestrator,
     WarmInstance,
+)
+from repro.orchestrator.trace import (
+    InvocationTrace,
+    TraceEvent,
+    TraceSpec,
+    synthesize,
 )
 
 __all__ = [
@@ -37,5 +45,11 @@ __all__ = [
     "LoadBalancer",
     "LoadGenerator",
     "LoadStats",
+    "SchemeInvoker",
+    "TraceReplayer",
     "TrafficSpec",
+    "InvocationTrace",
+    "TraceEvent",
+    "TraceSpec",
+    "synthesize",
 ]

@@ -2,23 +2,29 @@
 
 vHive ships client software that drives deployed functions with varying
 mixes and load levels and measures response times.  This module is that
-client: an **open-loop** generator (arrivals follow the configured
-process regardless of completions, as real invocation traffic does)
-against an orchestrator-with-autoscaler or a cluster, collecting
-per-function latency distributions.
+client: **open-loop** generators (arrivals follow the configured process
+regardless of completions, as real invocation traffic does) against an
+orchestrator-with-autoscaler or a cluster, collecting per-function
+latency distributions.
 
-The sporadic, low-rate traffic the Azure study describes (§2.1: 90 % of
-functions invoked less than once per minute) is exactly what makes cold
-starts dominate; :class:`LoadGenerator` lets experiments reproduce that
-regime and quantify how REAP moves the latency tail.
+Two drivers share the measurement machinery:
+
+* :class:`LoadGenerator` emits stationary Poisson streams from
+  :class:`TrafficSpec` -- the simple load-level knob;
+* :class:`TraceReplayer` replays an
+  :class:`~repro.orchestrator.trace.InvocationTrace` -- timestamped
+  per-function arrivals, synthetic or exported -- which is how the
+  bursty, heavy-tailed Azure-study traffic shape (§2.1: 90 % of
+  functions invoked less than once per minute) reaches the autoscaler
+  and makes cold starts (and REAP's benefit) matter at scale.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Generator, Sequence
 
+from repro.analysis.aggregate import percentile as nearest_rank
 from repro.sim.engine import Environment, Event
 from repro.sim.rng import RandomStream
 from repro.sim.units import SEC
@@ -53,27 +59,43 @@ class LatencySample:
 
 @dataclass
 class LoadStats:
-    """Collected samples for one function."""
+    """Collected samples for one function.
+
+    Empty-sample behavior is uniform: :meth:`percentile` and
+    :attr:`mean_ms` both raise ``ValueError`` when no samples have been
+    collected (counting properties like :attr:`cold_fraction` report
+    0.0, a true count over zero events).
+    """
 
     samples: list[LatencySample] = field(default_factory=list)
+    #: Sorted-latency cache; rebuilt whenever the sample count changes.
+    _sorted: list[float] | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def add(self, sample: LatencySample) -> None:
+        """Record one completed request."""
+        self.samples.append(sample)
+        self._sorted = None
 
     def latencies(self) -> list[float]:
-        return sorted(sample.latency_ms for sample in self.samples)
+        """Ascending latencies; cached between appends -- treat as
+        read-only (percentile queries are hot in large trace replays, so
+        this must not re-sort per call)."""
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(
+                sample.latency_ms for sample in self.samples)
+        return self._sorted
 
     def percentile(self, fraction: float) -> float:
         """Latency percentile (e.g. ``0.99``) by nearest-rank."""
-        ordered = self.latencies()
-        if not ordered:
-            raise ValueError("no samples")
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        rank = max(math.ceil(fraction * len(ordered)) - 1, 0)
-        return ordered[rank]
+        return nearest_rank(self.latencies(), fraction)
 
     @property
     def mean_ms(self) -> float:
         ordered = self.latencies()
-        return sum(ordered) / len(ordered) if ordered else 0.0
+        if not ordered:
+            raise ValueError("no samples")
+        return sum(ordered) / len(ordered)
 
     @property
     def cold_fraction(self) -> float:
@@ -89,25 +111,61 @@ class LoadStats:
         return counts
 
 
-class LoadGenerator:
-    """Open-loop Poisson traffic against an invoker.
+class SchemeInvoker:
+    """Pin every invocation of an invoker to one restore scheme.
+
+    ``"vanilla"`` forces lazy restores; ``"reap"`` leaves the REAP
+    manager free to record/prefetch/fall back.  Experiments wrap an
+    :class:`~repro.orchestrator.autoscaler.Autoscaler` or
+    :class:`~repro.orchestrator.cluster.Cluster` in this to compare the
+    two policies under identical traffic.
+    """
+
+    def __init__(self, invoker, scheme: str) -> None:
+        self.invoker = invoker
+        self.kwargs = {"mode": "vanilla"} if scheme == "vanilla" else {}
+
+    def invoke(self, name: str, **_ignored):
+        return self.invoker.invoke(name, **self.kwargs)
+
+
+class _OpenLoopClient:
+    """Shared request-issue/measure machinery of the two drivers.
 
     ``invoker`` is anything exposing
     ``invoke(name, **kwargs) -> Generator`` -- an
-    :class:`~repro.orchestrator.autoscaler.Autoscaler` (single worker) or
-    a :class:`~repro.orchestrator.cluster.Cluster`.
+    :class:`~repro.orchestrator.autoscaler.Autoscaler` (single worker)
+    or a :class:`~repro.orchestrator.cluster.Cluster`.
     """
+
+    def __init__(self, env: Environment, invoker,
+                 functions: Sequence[str]) -> None:
+        self.env = env
+        self.invoker = invoker
+        self.stats: dict[str, LoadStats] = {
+            name: LoadStats() for name in functions}
+
+    def _one_request(self, function: str) -> Generator[Event, Any, None]:
+        issued_at = self.env.now
+        result = yield from self.invoker.invoke(function)
+        self.stats[function].add(LatencySample(
+            function=function,
+            issued_at=issued_at,
+            latency_ms=(self.env.now - issued_at) / 1000.0,
+            mode=result.mode,
+        ))
+
+
+class LoadGenerator(_OpenLoopClient):
+    """Open-loop Poisson traffic against an invoker."""
 
     def __init__(self, env: Environment, invoker,
                  specs: Sequence[TrafficSpec], seed: int = 42) -> None:
         if not specs:
             raise ValueError("load generator needs at least one TrafficSpec")
-        self.env = env
-        self.invoker = invoker
+        super().__init__(env, invoker, [spec.function for spec in specs])
         self.specs = list(specs)
         self.rng = RandomStream(seed, "loadgen")
-        self.stats: dict[str, LoadStats] = {
-            spec.function: LoadStats() for spec in self.specs}
 
     def run(self) -> Generator[Event, Any, dict[str, LoadStats]]:
         """Drive all traffic to completion; returns per-function stats."""
@@ -128,12 +186,33 @@ class LoadGenerator:
                 self._one_request(spec.function)))
         yield self.env.all_of(outstanding)
 
-    def _one_request(self, function: str) -> Generator[Event, Any, None]:
-        issued_at = self.env.now
-        result = yield from self.invoker.invoke(function)
-        self.stats[function].samples.append(LatencySample(
-            function=function,
-            issued_at=issued_at,
-            latency_ms=(self.env.now - issued_at) / 1000.0,
-            mode=result.mode,
-        ))
+
+class TraceReplayer(_OpenLoopClient):
+    """Open-loop replay of an invocation trace against an invoker.
+
+    Event timestamps are interpreted relative to the simulation time at
+    which :meth:`run` starts, so a trace can be replayed from any point
+    of a longer scenario.  Arrivals are issued exactly on schedule --
+    never delayed by outstanding requests -- which is what makes
+    sustained-overload and burst behavior observable.
+    """
+
+    def __init__(self, env: Environment, invoker, trace) -> None:
+        if not len(trace):
+            raise ValueError("cannot replay an empty trace")
+        super().__init__(env, invoker, trace.functions())
+        self.trace = trace
+
+    def run(self) -> Generator[Event, Any, dict[str, LoadStats]]:
+        """Replay every event to completion; returns per-function stats."""
+        started = self.env.now
+        outstanding = []
+        for event in self.trace.events:
+            delay = started + event.at_s * SEC - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            outstanding.append(self.env.process(
+                self._one_request(event.function),
+                name=f"replay:{event.function}"))
+        yield self.env.all_of(outstanding)
+        return self.stats

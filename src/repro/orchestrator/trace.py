@@ -1,0 +1,363 @@
+"""On-disk invocation traces and Azure-like synthetic generation (§2.1).
+
+The paper's premise is the Azure-study traffic shape: 90 % of functions
+are invoked less than once per minute, with heavy-tailed per-function
+rates and bursty arrivals -- the regime where instances idle past any
+keep-alive window and every invocation is a cold start.  A stationary
+Poisson stream (:class:`~repro.orchestrator.loadgen.TrafficSpec`)
+cannot reproduce that shape, so experiments that want it replay an
+:class:`InvocationTrace`: a flat, replayable list of per-function
+timestamped arrivals.
+
+**Trace format.**  JSON lines.  The first line is a header object
+(``{"trace_format": 1, "events": N, "meta": {...}}``); every following
+line is one arrival, ``{"at_s": 12.345, "function": "pyaes"}``, sorted
+by timestamp.  Traces are plain data -- they can be synthesized here,
+exported from production logs, or written by hand -- and replaying one
+is deterministic, which is what lets ``trace_*`` experiment cells cache
+and parallelize like every other cell.
+
+**Synthesis.**  :func:`synthesize` samples the rate classes the Azure
+study describes from a :class:`~repro.sim.rng.RandomStream`:
+
+* ``sporadic`` -- Poisson arrivals with a heavy-tailed (Pareto)
+  per-function mean inter-arrival of minutes, the cold-start-dominated
+  90 %;
+* ``periodic`` -- timer-driven arrivals (cron jobs, health checks) at a
+  per-function period with small Gaussian jitter;
+* ``bursty`` -- an ON/OFF process: long exponential OFF gaps, then a
+  geometric burst of closely-spaced arrivals (pipeline fan-out);
+* ``azure`` -- the mixed population: each function gets the class that
+  :func:`repro.functions.catalog.default_rate_class` assigns from its
+  profile, plus diurnal (sinusoidal) rate modulation via thinning.
+
+Draw streams are derived per ``(seed, rate class, function)``, so adding
+a function to a spec never perturbs the arrivals of the others.
+
+See also :mod:`repro.orchestrator.loadgen` (the
+:class:`~repro.orchestrator.loadgen.TraceReplayer` that drives a trace
+against an autoscaler or cluster) and
+:mod:`repro.bench.experiments.trace_eval` (the ``trace_*`` experiment
+family).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.functions.catalog import default_rate_class
+from repro.sim.rng import RandomStream
+
+TRACE_FORMAT_VERSION = 1
+
+#: Pure rate classes plus the mixed-population preset.
+RATE_CLASSES = ("sporadic", "periodic", "bursty", "azure")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One invocation arrival: ``function`` is invoked at ``at_s``.
+
+    Timestamps are seconds from the start of the trace; replay maps
+    them onto simulation time relative to when the replayer starts.
+    """
+
+    at_s: float
+    function: str
+
+    def __post_init__(self) -> None:
+        # NaN/inf would break trace ordering and replay scheduling
+        # (NaN compares False everywhere), so reject them up front.
+        if not math.isfinite(self.at_s) or self.at_s < 0.0:
+            raise ValueError(f"event timestamp must be finite and >= 0, "
+                             f"got {self.at_s}")
+        if not self.function:
+            raise ValueError("event needs a function name")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of one synthetic trace (see module docstring).
+
+    ``diurnal_amplitude`` > 0 modulates arrival rates sinusoidally over
+    ``diurnal_period_s`` (peak at one quarter period); the ``azure``
+    class enables it by default with the trace duration as the period,
+    so even short traces see a peak and a valley.
+    """
+
+    functions: tuple[str, ...]
+    rate_class: str = "sporadic"
+    duration_s: float = 1800.0
+    diurnal_amplitude: float = 0.0
+    diurnal_period_s: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if not self.functions:
+            raise ValueError("trace spec needs at least one function")
+        if self.rate_class not in RATE_CLASSES:
+            raise ValueError(f"unknown rate class {self.rate_class!r}; "
+                             f"known: {', '.join(RATE_CLASSES)}")
+        if self.duration_s <= 0.0:
+            raise ValueError("duration_s must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period_s <= 0.0:
+            raise ValueError("diurnal_period_s must be positive")
+
+
+class InvocationTrace:
+    """An ordered list of :class:`TraceEvent` plus free-form metadata."""
+
+    def __init__(self, events: Iterable[TraceEvent],
+                 meta: Mapping[str, Any] | None = None) -> None:
+        self.events: tuple[TraceEvent, ...] = tuple(
+            sorted(events, key=lambda event: (event.at_s, event.function)))
+        self.meta: dict[str, Any] = dict(meta or {})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InvocationTrace):
+            return NotImplemented
+        return self.events == other.events and self.meta == other.meta
+
+    def functions(self) -> list[str]:
+        """Distinct function names, sorted."""
+        return sorted({event.function for event in self.events})
+
+    @property
+    def duration_s(self) -> float:
+        """Timestamp of the last arrival (0.0 for an empty trace)."""
+        return self.events[-1].at_s if self.events else 0.0
+
+    def counts(self) -> dict[str, int]:
+        """Arrivals per function."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.function] = counts.get(event.function, 0) + 1
+        return counts
+
+    def interarrivals(self, function: str) -> list[float]:
+        """Gaps (seconds) between consecutive arrivals of one function."""
+        times = [event.at_s for event in self.events
+                 if event.function == function]
+        return [later - earlier for earlier, later in zip(times, times[1:])]
+
+    def summary(self) -> dict[str, Any]:
+        """Per-function shape statistics (the ``trace inspect`` payload).
+
+        ``interarrival_cv`` -- coefficient of variation of the gaps --
+        separates the classes: ~0 for periodic, ~1 for Poisson
+        (sporadic), well above 1 for bursty arrivals.  Rates are
+        computed over the generator's declared ``duration_s`` when the
+        metadata carries one (the observation window), falling back to
+        the last-arrival timestamp for hand-built traces.
+        """
+        window_s = float(self.meta.get("duration_s") or self.duration_s)
+        rows = []
+        for name in self.functions():
+            gaps = self.interarrivals(name)
+            count = len(gaps) + 1
+            mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
+            if len(gaps) >= 2 and mean_gap > 0.0:
+                variance = (sum((gap - mean_gap) ** 2 for gap in gaps)
+                            / len(gaps))
+                cv = math.sqrt(variance) / mean_gap
+            else:
+                cv = 0.0
+            rows.append({
+                "function": name,
+                "events": count,
+                "rate_per_min": round(60.0 * count / window_s, 3)
+                if window_s > 0 else 0.0,
+                "mean_gap_s": round(mean_gap, 3),
+                "interarrival_cv": round(cv, 3),
+            })
+        return {
+            "events": len(self),
+            "functions": len(rows),
+            "duration_s": round(self.duration_s, 3),
+            "meta": dict(self.meta),
+            "per_function": rows,
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> pathlib.Path:
+        """Write the JSON-lines form (header line + one line per event)."""
+        path = pathlib.Path(path)
+        lines = [json.dumps({"trace_format": TRACE_FORMAT_VERSION,
+                             "events": len(self), "meta": self.meta})]
+        lines.extend(json.dumps({"at_s": event.at_s,
+                                 "function": event.function})
+                     for event in self.events)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "InvocationTrace":
+        """Parse a trace file; raises ``ValueError`` on a malformed one."""
+        lines = pathlib.Path(path).read_text().splitlines()
+        if not lines:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(lines[0])
+        if not isinstance(header, dict) \
+                or header.get("trace_format") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: not an invocation trace (expected a header with "
+                f"trace_format={TRACE_FORMAT_VERSION})")
+        events = []
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                blob = json.loads(line)
+                events.append(TraceEvent(at_s=float(blob["at_s"]),
+                                         function=str(blob["function"])))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{number}: malformed arrival line "
+                    f"(expected {{\"at_s\": ..., \"function\": ...}}): "
+                    f"{line!r}") from error
+        declared = header.get("events")
+        if declared is not None and declared != len(events):
+            raise ValueError(f"{path}: header declares {declared} events "
+                             f"but file holds {len(events)}")
+        return cls(events, meta=header.get("meta") or {})
+
+
+# -- synthesis ---------------------------------------------------------------
+
+#: Sporadic inter-arrival tail: Pareto(scale, shape).  The scale puts
+#: nearly all mass past the once-per-minute line and the shape keeps the
+#: tail heavy, matching the Azure study's "90 % invoked less than once
+#: per minute" population.
+SPORADIC_GAP_SCALE_S = 75.0
+SPORADIC_GAP_SHAPE = 1.2
+
+#: Periodic timers fire at one of these periods (seconds), like the
+#: cron-style schedules platform logs show, with 5 % Gaussian jitter.
+PERIODIC_PERIODS_S = (60.0, 120.0, 300.0, 600.0)
+PERIODIC_JITTER_FRACTION = 0.05
+
+#: Bursty ON/OFF process: exponential OFF gaps, geometric burst sizes,
+#: exponential intra-burst gaps.
+BURSTY_OFF_GAP_FRACTION = 1 / 6  # mean OFF gap as a fraction of duration
+BURSTY_MEAN_BURST = 8.0
+BURSTY_INTRA_GAP_S = 0.25
+
+#: Diurnal modulation depth the ``azure`` preset applies.
+AZURE_DIURNAL_AMPLITUDE = 0.5
+
+
+def _diurnal_keep(stream: RandomStream, spec: TraceSpec, at_s: float) -> bool:
+    """Thinning acceptance for sinusoidal rate modulation.
+
+    Candidate arrivals are generated at the peak rate and kept with
+    probability ``rate(t) / peak``, the standard thinning construction
+    for a non-homogeneous Poisson process.
+    """
+    amplitude = spec.diurnal_amplitude
+    if amplitude <= 0.0:
+        return True
+    phase = 2.0 * math.pi * at_s / spec.diurnal_period_s
+    rate = 1.0 + amplitude * math.sin(phase)
+    return stream.random() < rate / (1.0 + amplitude)
+
+
+def _sporadic_arrivals(stream: RandomStream, spec: TraceSpec,
+                       ) -> Iterable[float]:
+    # Heavy-tailed per-function rate: one Pareto draw fixes this
+    # function's mean gap for the whole trace.
+    tail = stream.random()
+    mean_gap = min(SPORADIC_GAP_SCALE_S
+                   * (1.0 - tail) ** (-1.0 / SPORADIC_GAP_SHAPE),
+                   spec.duration_s)
+    # Thinning compensates by oversampling at the peak rate.
+    effective_gap = mean_gap / (1.0 + spec.diurnal_amplitude)
+    at_s = stream.expovariate(1.0 / effective_gap)
+    while at_s < spec.duration_s:
+        if _diurnal_keep(stream, spec, at_s):
+            yield at_s
+        at_s += stream.expovariate(1.0 / effective_gap)
+
+
+def _periodic_arrivals(stream: RandomStream, spec: TraceSpec,
+                       ) -> Iterable[float]:
+    period = stream.choice(PERIODIC_PERIODS_S)
+    phase = stream.uniform(0.0, period)
+    at_s = phase
+    while at_s < spec.duration_s:
+        jitter = stream.gauss(0.0, PERIODIC_JITTER_FRACTION * period)
+        jittered = at_s + jitter
+        if 0.0 <= jittered < spec.duration_s:
+            yield jittered
+        at_s += period
+
+
+def _bursty_arrivals(stream: RandomStream, spec: TraceSpec,
+                     ) -> Iterable[float]:
+    off_gap = spec.duration_s * BURSTY_OFF_GAP_FRACTION
+    effective_off = off_gap / (1.0 + spec.diurnal_amplitude)
+    at_s = stream.expovariate(1.0 / effective_off)
+    while at_s < spec.duration_s:
+        if _diurnal_keep(stream, spec, at_s):
+            burst = stream.geometric(BURSTY_MEAN_BURST)
+            for _ in range(burst):
+                if at_s >= spec.duration_s:
+                    break
+                yield at_s
+                at_s += stream.expovariate(1.0 / BURSTY_INTRA_GAP_S)
+        at_s += stream.expovariate(1.0 / effective_off)
+
+
+_GENERATORS = {
+    "sporadic": _sporadic_arrivals,
+    "periodic": _periodic_arrivals,
+    "bursty": _bursty_arrivals,
+}
+
+
+def synthesize(spec: TraceSpec, seed: int = 42) -> InvocationTrace:
+    """Deterministically sample a trace from ``spec``.
+
+    Streams are derived per ``(seed, "trace", rate class, function)``,
+    so the same ``(spec, seed)`` pair always yields the identical trace
+    -- byte-identical through :meth:`InvocationTrace.save` -- and
+    growing the function list never changes existing functions'
+    arrivals.
+    """
+    root = RandomStream(seed, "trace", spec.rate_class)
+    function_spec = spec
+    if spec.rate_class == "azure" and spec.diurnal_amplitude == 0.0:
+        # The azure preset turns diurnal modulation on, scaled to the
+        # trace so short traces still see a peak and a valley.
+        function_spec = TraceSpec(
+            functions=spec.functions, rate_class="azure",
+            duration_s=spec.duration_s,
+            diurnal_amplitude=AZURE_DIURNAL_AMPLITUDE,
+            diurnal_period_s=spec.duration_s)
+    events: list[TraceEvent] = []
+    classes: dict[str, str] = {}
+    for name in spec.functions:
+        rate_class = (default_rate_class(name)
+                      if spec.rate_class == "azure" else spec.rate_class)
+        classes[name] = rate_class
+        stream = root.child(name)
+        events.extend(TraceEvent(at_s=at_s, function=name)
+                      for at_s in _GENERATORS[rate_class](stream,
+                                                          function_spec))
+    meta = {
+        "generator": "synthesize",
+        "rate_class": spec.rate_class,
+        "seed": seed,
+        "duration_s": spec.duration_s,
+        "classes": classes,
+    }
+    return InvocationTrace(events, meta=meta)

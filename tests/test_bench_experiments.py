@@ -17,7 +17,7 @@ def test_registry_covers_every_table_and_figure():
         "table1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
         "fio", "hdd", "warm_background", "record_overhead",
         "mispredictions", "fallback", "ablations", "remote_storage",
-        "tail_latency",
+        "tail_latency", "trace_replay", "trace_scale",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -118,3 +118,59 @@ def test_cli_clean_cache(capsys, tmp_path):
 def test_cli_requires_a_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- trace subcommand ------------------------------------------------------
+
+
+def test_cli_trace_generate_is_deterministic(capsys, tmp_path):
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    argv = ["trace", "generate", "--rate-class", "bursty",
+            "--functions", "helloworld,pyaes", "--duration", "300",
+            "--seed", "7"]
+    assert main(argv[:2] + [str(first)] + argv[2:]) == 0
+    assert main(argv[:2] + [str(second)] + argv[2:]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_cli_trace_generate_then_inspect(capsys, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    assert main(["trace", "generate", str(path), "--rate-class", "azure",
+                 "--duration", "240", "--seed", "3"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "function(s)" in out
+    assert "interarrival_cv" in out
+    assert main(["trace", "inspect", str(path), "--format", "json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert blob["meta"]["rate_class"] == "azure"
+    assert blob["events"] == sum(row["events"]
+                                 for row in blob["per_function"])
+
+
+def test_cli_trace_generate_rejects_bad_input(capsys, tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    assert main(["trace", "generate", path,
+                 "--rate-class", "nope"]) == 2
+    assert "unknown rate class" in capsys.readouterr().err
+    assert main(["trace", "generate", path,
+                 "--functions", "not_a_function"]) == 2
+    assert "unknown function" in capsys.readouterr().err
+
+
+def test_cli_trace_inspect_rejects_non_trace_file(capsys, tmp_path):
+    bogus = tmp_path / "bogus.jsonl"
+    bogus.write_text('{"rows": []}\n')
+    assert main(["trace", "inspect", str(bogus)]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["trace", "inspect", str(tmp_path / "missing.jsonl")]) == 2
+
+
+def test_cli_trace_generate_unwritable_path_is_friendly(capsys, tmp_path):
+    assert main(["trace", "generate",
+                 str(tmp_path / "no-such-dir" / "t.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -111,3 +111,62 @@ def test_generator_deterministic():
                 for s in stats["toy"].samples]
 
     assert run() == run()
+
+
+def test_load_stats_empty_behavior_is_uniform():
+    # percentile() and mean_ms used to disagree on empty stats
+    # (ValueError vs silent 0.0); both now raise.
+    empty = LoadStats()
+    with pytest.raises(ValueError):
+        empty.percentile(0.5)
+    with pytest.raises(ValueError):
+        empty.mean_ms
+    assert empty.cold_fraction == 0.0  # a count over zero events stays 0
+
+
+def test_percentile_edge_ranks():
+    single = LoadStats(samples=[LatencySample("f", 0.0, 7.0, "warm")])
+    assert single.percentile(0.001) == 7.0
+    assert single.percentile(0.5) == 7.0
+    assert single.percentile(1.0) == 7.0
+    pair = LoadStats(samples=[LatencySample("f", 0.0, 1.0, "warm"),
+                              LatencySample("f", 0.0, 9.0, "warm")])
+    assert pair.percentile(1.0) == 9.0
+    assert pair.percentile(0.5) == 1.0
+    with pytest.raises(ValueError):
+        pair.percentile(1.5)
+
+
+def test_latencies_cached_until_samples_change():
+    stats = LoadStats()
+    stats.add(LatencySample("f", 0.0, 3.0, "warm"))
+    first = stats.latencies()
+    assert stats.latencies() is first  # cached, not re-sorted per call
+    stats.add(LatencySample("f", 0.0, 1.0, "warm"))
+    assert stats.latencies() == [1.0, 3.0]
+    # Direct appends (the samples list is public) are noticed too.
+    stats.samples.append(LatencySample("f", 0.0, 2.0, "warm"))
+    assert stats.latencies() == [1.0, 2.0, 3.0]
+
+
+def test_open_loop_issues_on_schedule_under_sustained_overload():
+    # Arrivals every ~0.5 ms against a 4 ms service time: an open-loop
+    # generator must keep issuing on the arrival process, never gated by
+    # completions.  (Deterministic seed, so the bound is stable.)
+    testbed = Testbed(seed=23)
+    testbed.deploy(toy())
+    scaler = Autoscaler(testbed.orchestrator,
+                        AutoscalerParameters(keepalive_s=600.0))
+    requests = 30
+    generator = LoadGenerator(
+        testbed.env, scaler,
+        [TrafficSpec("toy", mean_interarrival_s=0.0005, requests=requests)],
+        seed=23)
+    stats = testbed.run(generator.run())
+    scaler.stop()
+    assert len(stats["toy"].samples) == requests
+    issued = sorted(s.issued_at for s in stats["toy"].samples)
+    issue_span_ms = (issued[-1] - issued[0]) / 1000.0
+    # Closed-loop issuance would stretch over >= requests * 4 ms; the
+    # open loop finishes issuing within the arrival process' span.
+    assert issue_span_ms < 0.25 * requests * 4.0

@@ -133,3 +133,52 @@ def test_monitor_event_queue_counts():
     env.process(vcpu(2))
     env.run(until=0)
     assert uffd.queued_events == 2
+
+
+def test_copy_batch_length_mismatch_rejected_up_front():
+    # A short (or long) data list must fail before any page is touched:
+    # a mid-batch IndexError would leave the region partially populated
+    # with some waiters already woken.
+    env, _backing, memory, uffd = make_uffd()
+    with pytest.raises(UffdError, match="3 page.*2 payload"):
+        uffd.copy_batch([0, 1, 2], data=[b"a", b"b"])
+    with pytest.raises(UffdError, match="2 page.*3 payload"):
+        uffd.copy_batch([0, 1], data=[b"a", b"b", b"c"])
+    assert memory.present_pages == 0
+    assert uffd.pages_copied == 0
+
+
+def test_copy_batch_partial_present_with_data_stays_aligned():
+    # Present pages are skipped but their payload slot is still theirs:
+    # page i always pairs with data[i].
+    env, backing, memory, uffd = make_uffd(ContentMode.FULL)
+    payloads = []
+    for page in (3, 4, 5):
+        payload = bytes([0x40 + page]) * PAGE_SIZE
+        backing.write_block(page, payload)
+        payloads.append(payload)
+    memory.install(4)  # pre-present: its payload must be skipped, not shifted
+    installed = uffd.copy_batch([3, 4, 5], data=payloads)
+    assert installed == 2
+    assert memory.read_page(3) == payloads[0]
+    assert memory.read_page(5) == payloads[2]
+
+
+def test_copy_batch_mismatch_still_wakes_nobody():
+    env, _backing, _memory, uffd = make_uffd()
+    woken = []
+
+    def vcpu():
+        wake = uffd.raise_fault(1)
+        yield wake
+        woken.append(env.now)
+
+    def monitor():
+        yield env.timeout(5)
+        with pytest.raises(UffdError):
+            uffd.copy_batch([1, 2], data=[b"only-one"])
+
+    env.process(vcpu())
+    env.process(monitor())
+    env.run(until=50)
+    assert woken == []
