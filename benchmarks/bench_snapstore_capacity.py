@@ -1,0 +1,21 @@
+"""Snapshot-store extension: content-addressed dedup across the catalog."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+
+def test_snapstore_capacity(benchmark, report):
+    result = run_once(benchmark, run_experiment, "snapstore_capacity")
+    report(result)
+    # Fig. 5: >=97 % of accessed pages are byte-identical across
+    # invocations for the majority of the catalog (7 of 10 functions).
+    assert result.metrics["functions_ge_97_fraction"] >= 0.5
+    # The three large-input outliers fall below the line, as in the paper.
+    for outlier in ("image_rotate", "lr_training", "video_processing"):
+        assert result.metrics[f"{outlier}_identical"] < 0.97
+    # Dedup plus the compression model cut stored bytes substantially.
+    assert result.metrics["catalog_dedup_ratio"] > 2.0
+    assert result.metrics["catalog_stored_savings"] > 0.5
+    for row in result.rows:
+        assert row["ws_pages"] > 0

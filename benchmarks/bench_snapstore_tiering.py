@@ -1,0 +1,35 @@
+"""Snapshot-store extension: restore tails under tiered placement (§7.1)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+CAPACITIES = (256, 512, 1024)
+POLICIES = ("lru", "lfu", "ws_aware")
+
+
+def test_snapstore_tiering(benchmark, report):
+    result = run_once(benchmark, run_experiment, "snapstore_tiering")
+    report(result)
+    metrics = result.metrics
+    # Restore p99 degrades monotonically as the local tier shrinks,
+    # under every eviction policy and restore scheme.
+    for scheme in ("vanilla", "reap"):
+        for policy in POLICIES:
+            assert metrics[f"{scheme}_{policy}_p99_monotone"] == 1.0
+            assert (metrics[f"{scheme}_{policy}_cap256_p99_ms"]
+                    > metrics[f"{scheme}_{policy}_cap1024_p99_ms"])
+    # REAP's small trace+WS artifacts keep its tail far below lazy
+    # restores at every tier size (the §7.1 asymmetry).
+    for capacity in CAPACITIES:
+        assert (metrics[f"vanilla_lru_cap{capacity}_p99_ms"]
+                > 1.5 * metrics[f"reap_lru_cap{capacity}_p99_ms"])
+    # Snapshot-locality-aware routing beats blind spreading at equal
+    # capacity for lazy restores, and cuts promote traffic for both.
+    assert metrics["vanilla_locality_p99_advantage"] > 1.0
+    assert metrics["vanilla_locality_promote_savings_cap512"] > 0.2
+    # REAP barely needs locality -- its artifacts are small enough to
+    # survive eviction pressure on every worker (parity, not a win).
+    assert metrics["reap_locality_p99_advantage"] > 0.95
+    for row in result.rows:
+        assert row["invocations"] > 0

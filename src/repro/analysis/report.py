@@ -74,27 +74,36 @@ def render_json(results: Iterable["ExperimentResult"],
     return json.dumps(blob, indent=2, sort_keys=False)
 
 
+def rows_to_csv(rows: Sequence[Row],
+                lead_columns: Sequence[str] = ()) -> str:
+    """CSV of a row list: header is the key union in first-seen order.
+
+    ``lead_columns`` pins columns to the front; absent fields render
+    empty.  Shared by ``--format csv`` experiment reports and the
+    ``trace inspect --format csv`` export.
+    """
+    columns: list[str] = list(lead_columns)
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
 def render_csv(results: Iterable["ExperimentResult"]) -> str:
     """Flat CSV of every row of every experiment.
 
     Experiments have heterogeneous columns, so the header is the union
-    (first-seen order) with an ``experiment`` id column prepended;
-    absent fields render empty.
+    (first-seen order) with an ``experiment`` id column prepended.
     """
-    results = list(results)
-    columns: list[str] = ["experiment"]
-    for result in results:
-        for row in result.rows:
-            for key in row:
-                if key not in columns:
-                    columns.append(key)
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
-    writer.writeheader()
-    for result in results:
-        for row in result.rows:
-            writer.writerow({"experiment": result.experiment, **row})
-    return buffer.getvalue()
+    rows = [{"experiment": result.experiment, **row}
+            for result in results for row in result.rows]
+    return rows_to_csv(rows, lead_columns=["experiment"])
 
 
 def comparison_table(measured: Mapping[str, float],

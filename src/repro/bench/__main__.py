@@ -33,7 +33,12 @@ import argparse
 import json
 import sys
 
-from repro.analysis.report import format_table, render_csv, render_json
+from repro.analysis.report import (
+    format_table,
+    render_csv,
+    render_json,
+    rows_to_csv,
+)
 from repro.bench.cache import ResultCache
 from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve
 from repro.bench.runner import Runner
@@ -103,9 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarize a trace file's shape")
     inspect.add_argument("trace_file", metavar="FILE",
                          help="trace file to read")
-    inspect.add_argument("--format", choices=("table", "json"),
+    inspect.add_argument("--format", choices=("table", "json", "csv"),
                          default="table", dest="fmt",
-                         help="output encoding (default: table)")
+                         help="output encoding (default: table); csv "
+                              "emits the per-function rows for external "
+                              "tooling")
 
     clean = commands.add_parser("clean-cache",
                                 help="delete cached cell results")
@@ -172,6 +179,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     summary = trace.summary()
     if args.fmt == "json":
         print(json.dumps(summary, indent=2))
+    elif args.fmt == "csv":
+        print(rows_to_csv(summary["per_function"]), end="")
     else:
         print(f"{summary['events']} event(s), {summary['functions']} "
               f"function(s), {summary['duration_s']}s")

@@ -35,6 +35,10 @@ from repro.bench.experiments.scale_eval import (
     TailLatency,
     WarmBackground,
 )
+from repro.bench.experiments.snapstore_eval import (
+    SnapstoreCapacity,
+    SnapstoreTiering,
+)
 from repro.bench.experiments.spec import Cell, Experiment
 from repro.bench.experiments.trace_eval import (
     TraceClusterScale,
@@ -73,6 +77,8 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
         TailLatency(),
         TraceReplayEval(),
         TraceClusterScale(),
+        SnapstoreCapacity(),
+        SnapstoreTiering(),
     )
 }
 

@@ -59,9 +59,13 @@ class ReapManager:
     """Chooses and updates the restore mode for every function."""
 
     def __init__(self, host: WorkerHost,
-                 params: ReapParameters | None = None) -> None:
+                 params: ReapParameters | None = None,
+                 store=None) -> None:
         self.host = host
         self.params = params or ReapParameters()
+        #: Optional :class:`~repro.snapstore.store.TieredSnapshotStore`;
+        #: recorded trace/WS files are placed (and reclaimed) through it.
+        self.store = store
         self._states: dict[str, FunctionReapState] = {}
 
     def state_for(self, function_name: str) -> FunctionReapState:
@@ -110,6 +114,9 @@ class ReapManager:
             state.artifacts = policy.artifacts
             state.records_done += 1
             state.mispredict_streak = 0
+            if self.store is not None:
+                self.store.register_reap_artifacts(function_name,
+                                                   policy.artifacts)
             return
         if policy.name not in ("reap", "ws_file", "parallel_pf"):
             return
@@ -131,6 +138,11 @@ class ReapManager:
                 # §7.2: repeat the record phase.
                 state.re_records += 1
                 state.artifacts = None
+                if self.store is not None:
+                    self.store.release_reap_artifacts(function_name)
             else:
-                # §7.2: fall back to vanilla snapshots.
+                # §7.2: fall back to vanilla snapshots.  The recording
+                # will never be read again; stop it occupying the tiers.
                 state.fallback_to_vanilla = True
+                if self.store is not None:
+                    self.store.release_reap_artifacts(function_name)

@@ -2,9 +2,23 @@
 
 A :class:`Cluster` holds several workers (each a
 :class:`~repro.vm.host.WorkerHost` + orchestrator + autoscaler) and a
-:class:`LoadBalancer` that plays the role of vHive's Istio ingress: it
-routes each invocation to a worker, preferring one that already holds a
-free warm instance of the function and otherwise spreading load.
+:class:`LoadBalancer` that plays the role of vHive's Istio ingress.
+Routing preference, in order:
+
+1. a worker with a *free warm instance* of the function (no restore
+   work at all);
+2. a worker whose *local snapshot tier* holds the most bytes of the
+   function's artifacts (snapshot locality: a cold start there restores
+   from local SSD instead of paying the remote path, §7.1) -- only
+   meaningful when workers run a bounded
+   :class:`~repro.snapstore.tier.TierCache`, and bounded by an overflow
+   guard so locality never serializes every cold start behind one
+   worker's control plane;
+3. the least-outstanding worker; under locality-aware routing ties
+   break by a rendezvous hash (each function has a stable "home", so
+   its artifacts concentrate on one tier instead of churning every
+   worker's), otherwise by worker index.  Either way routing is
+   deterministic.
 
 The paper's evaluation is single-worker (its distributed stack adds
 <30 ms, §4.1); the cluster layer exists so the framework covers the full
@@ -13,6 +27,7 @@ vHive architecture and to host the multi-tenant example.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
@@ -23,6 +38,7 @@ from repro.orchestrator.autoscaler import Autoscaler, AutoscalerParameters
 from repro.orchestrator.orchestrator import Orchestrator
 from repro.sim.engine import Environment, Event
 from repro.sim.rng import derive_seed
+from repro.snapstore.tier import TierParameters
 from repro.vm.host import HostParameters, WorkerHost
 
 
@@ -43,16 +59,45 @@ class RouteStats:
 
     routed: int = 0
     warm_routed: int = 0
+    #: Cold routes decided by snapshot locality (the preference actually
+    #: narrowed the candidate set).
+    locality_routed: int = 0
     by_worker: dict[int, int] = field(default_factory=dict)
 
 
-class LoadBalancer:
-    """Warm-affinity, least-outstanding router."""
+def _spread_key(worker: Worker) -> tuple[int, int]:
+    """Deterministic least-outstanding order (index breaks ties)."""
+    return (worker.outstanding, worker.index)
 
-    def __init__(self, workers: list[Worker]) -> None:
+
+def _affinity_digest(function_name: str, worker: Worker) -> bytes:
+    """Rendezvous-hash rank of a worker for one function.
+
+    Used as the cold-route tie-break: equally loaded, equally local
+    workers sort by this digest, so every function has a stable "home"
+    and its artifacts concentrate instead of spreading across the whole
+    fleet (which would make every worker's tier churn identically).
+    """
+    return hashlib.sha256(
+        f"{function_name}/{worker.index}".encode()).digest()
+
+
+class LoadBalancer:
+    """Warm-affinity, snapshot-locality, least-outstanding router."""
+
+    def __init__(self, workers: list[Worker],
+                 locality_aware: bool = True,
+                 locality_max_skew: int = 2) -> None:
         if not workers:
             raise ValueError("load balancer needs at least one worker")
         self.workers = workers
+        #: Prefer workers whose local snapshot tier holds the function.
+        self.locality_aware = locality_aware
+        #: Overflow guard: locality preference yields to spreading when
+        #: the preferred worker carries this many more outstanding
+        #: requests than the least-loaded one (locality must not
+        #: serialize every cold start behind one containerd lock).
+        self.locality_max_skew = locality_max_skew
         self.stats = RouteStats()
 
     def pick(self, function_name: str) -> Worker:
@@ -69,12 +114,39 @@ class LoadBalancer:
                 warm_candidates.append(worker)
         if warm_candidates:
             self.stats.warm_routed += 1
-            chosen = min(warm_candidates, key=lambda w: w.outstanding)
+            chosen = min(warm_candidates, key=_spread_key)
+        elif self.locality_aware:
+            chosen = min(self._cold_candidates(function_name),
+                         key=lambda worker: (
+                             worker.outstanding,
+                             _affinity_digest(function_name, worker)))
         else:
-            chosen = min(self.workers, key=lambda w: w.outstanding)
+            chosen = min(self.workers, key=_spread_key)
         self.stats.by_worker[chosen.index] = (
             self.stats.by_worker.get(chosen.index, 0) + 1)
         return chosen
+
+    def _cold_candidates(self, function_name: str) -> list[Worker]:
+        """Workers eligible for a cold route (locality preference)."""
+        local_bytes = [
+            worker.orchestrator.snapshot_store.locality_bytes(function_name)
+            for worker in self.workers]
+        best = max(local_bytes)
+        if best <= 0:
+            return self.workers
+        candidates = [worker for worker, held in zip(self.workers,
+                                                     local_bytes)
+                      if held == best]
+        least_loaded = min(worker.outstanding for worker in self.workers)
+        if (min(candidates, key=_spread_key).outstanding
+                > least_loaded + self.locality_max_skew):
+            # Overflow: the snapshot-holding workers are saturated and a
+            # remote promote beats queueing behind their control plane.
+            return self.workers
+        if len(candidates) < len(self.workers):
+            # The preference actually excluded somebody: a locality win.
+            self.stats.locality_routed += 1
+        return candidates
 
 
 class Cluster:
@@ -85,6 +157,8 @@ class Cluster:
                  autoscaler_params: AutoscalerParameters | None = None,
                  reap_params: ReapParameters | None = None,
                  content: ContentMode = ContentMode.METADATA,
+                 snapstore_params: "TierParameters | None" = None,
+                 locality_aware: bool = True,
                  seed: int = 42) -> None:
         if n_workers < 1:
             raise ValueError("cluster needs at least one worker")
@@ -95,12 +169,14 @@ class Cluster:
                               seed=derive_seed(seed, "worker", index))
             orchestrator = Orchestrator(
                 host, seed=derive_seed(seed, "orch", index),
-                content=content, reap_params=reap_params)
+                content=content, reap_params=reap_params,
+                snapstore_params=snapstore_params)
             autoscaler = Autoscaler(orchestrator, autoscaler_params)
             self.workers.append(Worker(index=index, host=host,
                                        orchestrator=orchestrator,
                                        autoscaler=autoscaler))
-        self.balancer = LoadBalancer(self.workers)
+        self.balancer = LoadBalancer(self.workers,
+                                     locality_aware=locality_aware)
 
     def deploy(self, profile: FunctionProfile,
                ) -> Generator[Event, Any, None]:

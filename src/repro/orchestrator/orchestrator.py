@@ -41,6 +41,8 @@ from repro.memory.trace import AccessTrace
 from repro.sim.engine import Event
 from repro.sim.rng import derive_seed
 from repro.sim.units import MS
+from repro.snapstore.store import TieredSnapshotStore
+from repro.snapstore.tier import TierParameters
 from repro.vm.boot import boot_microvm
 from repro.vm.host import WorkerHost
 from repro.vm.microvm import MicroVM, VmState
@@ -94,13 +96,19 @@ class Orchestrator:
 
     def __init__(self, host: WorkerHost, seed: int = 42,
                  content: ContentMode = ContentMode.METADATA,
-                 reap_params: ReapParameters | None = None) -> None:
+                 reap_params: ReapParameters | None = None,
+                 snapstore_params: "TierParameters | None" = None) -> None:
         self.host = host
         self.env = host.env
         self.seed = seed
         self.content = content
-        self.snapshot_store = SnapshotStore(host)
-        self.reap = ReapManager(host, reap_params)
+        #: Tiered artifact placement (bounded local SSD over a remote
+        #: service, §7.1); ``None`` keeps every artifact local.
+        self.snapstore = None
+        if snapstore_params is not None:
+            self.snapstore = TieredSnapshotStore(host, snapstore_params)
+        self.snapshot_store = SnapshotStore(host, tiered=self.snapstore)
+        self.reap = ReapManager(host, reap_params, store=self.snapstore)
         self._functions: dict[str, DeployedFunction] = {}
 
     # -- deployment -----------------------------------------------------------
@@ -146,6 +154,9 @@ class Orchestrator:
         state = self.reap.state_for(name)
         state.artifacts = None
         state.mispredict_streak = 0
+        if self.snapstore is not None:
+            # The old-layout trace/WS files are dead weight in the tiers.
+            self.snapstore.release_reap_artifacts(name)
         return entry
 
     def function(self, name: str) -> DeployedFunction:
@@ -247,8 +258,43 @@ class Orchestrator:
             self.host.flush_page_cache()
         started = self.env.now
 
+        # 0. Resolve the restore mode up front; the tiered store then
+        # promotes + pins exactly the artifacts this mode reads eagerly
+        # (evicted ones pay the remote path, §7.1).  Resolving once also
+        # pins the policy itself: REAP state may change across the
+        # promote/load yields (a concurrent record completing), and the
+        # policy must match what was promoted.
+        selected = mode or self.reap.mode_for(entry.profile.name)
+        pinned = []
+        if self.snapstore is not None:
+            pinned = yield from self.snapstore.ensure_for_restore(
+                entry.profile.name, selected, breakdown)
+        try:
+            result = yield from self._restore_and_serve(
+                entry, snapshot, selected, breakdown, invocation, started,
+                keep_warm, forced=mode is not None)
+        finally:
+            if pinned:
+                self.snapstore.unpin(pinned)
+        return result
+
+    def _restore_and_serve(self, entry: DeployedFunction,
+                           snapshot: Snapshot, mode: str,
+                           breakdown: LatencyBreakdown, invocation: int,
+                           started: float, keep_warm: bool,
+                           forced: bool = False,
+                           ) -> Generator[Event, Any, InvocationResult]:
         # 1. Load VMM (containerd + Firecracker + state file + devices).
         yield from self._load_vmm(snapshot, breakdown)
+
+        # A concurrent invocation may have invalidated the recording
+        # (re-record / refresh) during the promote/load yields; an
+        # auto-selected prefetch mode then falls back gracefully rather
+        # than demanding artifacts that no longer exist.
+        if (not forced and mode in ("reap", "ws_file", "parallel_pf")
+                and self.reap.state_for(entry.profile.name).artifacts
+                is None):
+            mode = self.reap.mode_for(entry.profile.name)
 
         # 2. Instantiate and eagerly populate per the restore policy.
         policy = self.reap.policy_for(snapshot, breakdown, mode)
@@ -265,6 +311,8 @@ class Orchestrator:
             # artifacts are discarded so the next cold start re-records.
             breakdown.extra["artifact_error"] = 1.0
             self.reap.state_for(entry.profile.name).artifacts = None
+            if self.snapstore is not None:
+                self.snapstore.release_reap_artifacts(entry.profile.name)
         vm.transition(VmState.RUNNING)
         handler = policy.fault_handler(vm)
 

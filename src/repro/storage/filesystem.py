@@ -129,6 +129,16 @@ class SimFile:
         """Number of blocks spanned by the file size."""
         return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
 
+    @property
+    def written_bytes(self) -> int:
+        """Bytes of non-hole blocks (what a sparse file actually occupies).
+
+        Snapshot memory files are sized to the whole guest region but
+        only carry the resident pages; capacity accounting (the snapstore
+        tiers) charges these bytes, as ``du`` would, not :attr:`size`.
+        """
+        return len(self._written_blocks) * PAGE_SIZE
+
     def clone_view(self, name: str) -> "SimFile":
         """A read-view of this file with its own page-cache identity.
 

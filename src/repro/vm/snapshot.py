@@ -9,9 +9,17 @@ A snapshot is two files, both placed behind the host's thin-pool device
   every page resident at capture time.  Restores map it lazily: nothing
   is populated until first touch.
 
-The store tracks the latest snapshot per function.  Restore policies
-(in :mod:`repro.core`) decide *how* pages get from the memory file into
-a new instance's guest memory.
+The store tracks the latest snapshot per function; when a newer capture
+replaces an older generation the superseded files are reclaimed from
+the filesystem (reclaimed bytes are counted in :class:`SnapshotStoreStats`).
+In-flight restores keep reading their cloned views -- reclaim has
+POSIX-unlink semantics.  Restore policies (in :mod:`repro.core`) decide
+*how* pages get from the memory file into a new instance's guest memory.
+
+A store may be backed by a
+:class:`~repro.snapstore.store.TieredSnapshotStore`: captures then
+register their files with the tier cache (bounded local SSD over a
+remote service) and reclaim releases them.
 
 See also :mod:`repro.core.policies` (lazy vs prefetched population),
 :mod:`repro.storage.thinpool` (the device path both files sit behind),
@@ -56,11 +64,25 @@ class Snapshot:
         return self.memory_file.size
 
 
+@dataclass
+class SnapshotStoreStats:
+    """Capture/reclaim counters of one snapshot store."""
+
+    captures: int = 0
+    #: Superseded snapshot generations whose files were reclaimed.
+    reclaimed_snapshots: int = 0
+    #: Bytes returned to the filesystem by generation reclaim.
+    reclaimed_bytes: int = 0
+
+
 class SnapshotStore:
     """Per-host registry of function snapshots."""
 
-    def __init__(self, host: WorkerHost) -> None:
+    def __init__(self, host: WorkerHost, tiered=None) -> None:
         self.host = host
+        #: Optional :class:`~repro.snapstore.store.TieredSnapshotStore`.
+        self.tiered = tiered
+        self.stats = SnapshotStoreStats()
         self._latest: dict[str, Snapshot] = {}
 
     def capture(self, vm: MicroVM,
@@ -120,12 +142,29 @@ class SnapshotStore:
             resident_pages=len(resident),
             created_at=host.env.now,
         )
+        previous = self._latest.get(profile.name)
         self._latest[profile.name] = snapshot
+        self.stats.captures += 1
+        if previous is not None:
+            self._reclaim(previous)
+        if self.tiered is not None:
+            self.tiered.register_snapshot(snapshot)
         if stop_vm:
             vm.transition(VmState.STOPPED)
         else:
             vm.transition(VmState.RUNNING)
         return snapshot
+
+    def _reclaim(self, snapshot: Snapshot) -> None:
+        """Free a superseded generation's files (unlink semantics)."""
+        for file in (snapshot.vmm_file, snapshot.memory_file):
+            self.host.filesystem.remove(file.name)
+            # Sparse memory files occupy only their written blocks;
+            # holes never held filesystem space (``du`` semantics).
+            self.stats.reclaimed_bytes += file.written_bytes
+        self.stats.reclaimed_snapshots += 1
+        if self.tiered is not None:
+            self.tiered.release_snapshot(snapshot)
 
     def get(self, function_name: str) -> Snapshot:
         """The latest snapshot for a function."""
@@ -138,6 +177,20 @@ class SnapshotStore:
     def exists(self, function_name: str) -> bool:
         """Whether a snapshot exists for ``function_name``."""
         return function_name in self._latest
+
+    def locality_bytes(self, function_name: str) -> int:
+        """Artifact bytes of a function resident on this worker's SSD.
+
+        The cluster front end uses this for snapshot-locality-aware
+        routing: without a tier cache everything a worker holds is
+        local; with one, the tier's placement decides.
+        """
+        if function_name not in self._latest:
+            return 0
+        if self.tiered is not None:
+            return self.tiered.local_bytes(function_name)
+        snapshot = self._latest[function_name]
+        return snapshot.vmm_file.size + snapshot.memory_file.size
 
     def instantiate(self, snapshot: Snapshot, backing: BackingMode,
                     content: ContentMode = ContentMode.METADATA,

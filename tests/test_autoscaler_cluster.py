@@ -129,3 +129,111 @@ def test_unknown_function_routes_to_least_loaded():
 
     env.run(until=env.process(failing()))
     cluster.shutdown()
+
+
+# -- load-balancer routing (warm / locality / spread) ----------------------
+
+
+def make_tiered_cluster(capacity_mb=10, **kwargs):
+    from repro.sim.units import MIB
+    from repro.snapstore.tier import TierParameters
+
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=11,
+                      snapstore_params=TierParameters(
+                          local_capacity_bytes=capacity_mb * MIB),
+                      **kwargs)
+    env.run(until=env.process(cluster.deploy(toy())))
+    return env, cluster
+
+
+def test_warm_preference_beats_load_spread():
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=11)
+    env.run(until=env.process(cluster.deploy(toy())))
+    # Put a warm instance on worker 1 only, then load it heavily.
+    env.run(until=env.process(
+        cluster.workers[1].autoscaler.invoke("toy")))
+    cluster.workers[1].outstanding = 5
+    chosen = cluster.balancer.pick("toy")
+    assert chosen.index == 1
+    assert cluster.balancer.stats.warm_routed == 1
+    cluster.shutdown()
+
+
+def test_busy_warm_instances_fall_back_to_cold_route():
+    env = Environment()
+    cluster = Cluster(env, n_workers=2, seed=11)
+    env.run(until=env.process(cluster.deploy(toy())))
+    env.run(until=env.process(
+        cluster.workers[1].autoscaler.invoke("toy")))
+    # The only warm instance is saturated: in_flight == warm pool size.
+    cluster.workers[1].autoscaler.state_for("toy").in_flight = 1
+    cluster.workers[1].outstanding = 1
+    chosen = cluster.balancer.pick("toy")
+    assert chosen.index == 0  # cold route, least outstanding
+    assert cluster.balancer.stats.warm_routed == 0
+    cluster.shutdown()
+
+
+def test_spread_tie_break_is_deterministic():
+    env = Environment()
+    cluster = Cluster(env, n_workers=3, seed=11, locality_aware=False)
+    env.run(until=env.process(cluster.deploy(toy())))
+    # Equal outstanding everywhere: blind routing breaks ties by index.
+    picks = {cluster.balancer.pick("toy").index for _ in range(5)}
+    assert picks == {0}
+    cluster.shutdown()
+
+
+def test_affinity_tie_break_is_deterministic_and_sticky():
+    env = Environment()
+    cluster = Cluster(env, n_workers=3, seed=11)
+    env.run(until=env.process(cluster.deploy(toy())))
+    # No tier: every worker holds the same bytes, so the rendezvous
+    # hash decides -- the same home every time for one function.
+    picks = {cluster.balancer.pick("toy").index for _ in range(5)}
+    assert len(picks) == 1
+    cluster.shutdown()
+
+
+def test_locality_preference_routes_to_artifact_holder():
+    env, cluster = make_tiered_cluster()
+    # Evict everything from worker 0's tier; worker 1 keeps its copy.
+    store = cluster.workers[0].orchestrator.snapstore
+    for entry in store.cache.entries_for("toy"):
+        store.cache._demote(entry)
+    assert cluster.workers[0].orchestrator.snapshot_store \
+        .locality_bytes("toy") == 0
+    chosen = cluster.balancer.pick("toy")
+    assert chosen.index == 1
+    assert cluster.balancer.stats.locality_routed == 1
+    cluster.shutdown()
+
+
+def test_locality_overflow_guard_spreads_under_skew():
+    env, cluster = make_tiered_cluster()
+    store = cluster.workers[0].orchestrator.snapstore
+    for entry in store.cache.entries_for("toy"):
+        store.cache._demote(entry)
+    # The artifact holder is far busier than the empty worker: the
+    # overflow guard routes around it rather than queueing the restore.
+    cluster.workers[1].outstanding = \
+        cluster.balancer.locality_max_skew + 1
+    chosen = cluster.balancer.pick("toy")
+    assert chosen.index == 0
+    assert cluster.balancer.stats.locality_routed == 0
+    cluster.shutdown()
+
+
+def test_locality_blind_balancer_ignores_placement():
+    env, cluster = make_tiered_cluster(locality_aware=False)
+    store = cluster.workers[0].orchestrator.snapstore
+    for entry in store.cache.entries_for("toy"):
+        store.cache._demote(entry)
+    # Blind routing spreads by load alone: equal outstanding -> index 0,
+    # even though only worker 1 still holds the artifacts locally.
+    chosen = cluster.balancer.pick("toy")
+    assert chosen.index == 0
+    assert cluster.balancer.stats.locality_routed == 0
+    cluster.shutdown()

@@ -18,6 +18,7 @@ def test_registry_covers_every_table_and_figure():
         "fio", "hdd", "warm_background", "record_overhead",
         "mispredictions", "fallback", "ablations", "remote_storage",
         "tail_latency", "trace_replay", "trace_scale",
+        "snapstore_capacity", "snapstore_tiering",
     }
     assert set(EXPERIMENTS) == expected
 
@@ -84,6 +85,35 @@ def test_remote_storage_subset():
     result = run_experiment("remote_storage", functions=("helloworld",))
     assert (result.metrics["remote_speedup_geomean"]
             > result.metrics["local_speedup_geomean"])
+
+
+def test_snapstore_capacity_subset():
+    result = run_experiment("snapstore_capacity",
+                            functions=("helloworld", "image_rotate"),
+                            invocations=2)
+    # Fig. 5 shape: the small-input function sits above the 97% identity
+    # line, the large-input one below it.
+    assert result.metrics["helloworld_identical"] >= 0.97
+    assert result.metrics["image_rotate_identical"] < 0.97
+    assert result.metrics["catalog_dedup_ratio"] > 1.5
+    assert 0.0 < result.metrics["catalog_stored_savings"] < 1.0
+
+
+def test_snapstore_tiering_subset():
+    result = run_experiment(
+        "snapstore_tiering", duration_s=300.0, repetitions=1,
+        capacities_mb=(192, 512), policies=("lru",),
+        functions=("helloworld", "pyaes"))
+    # Small grid: 2 capacities x 1 policy x 2 schemes + 1 blind control
+    # per scheme at the non-largest capacity.
+    assert len(result.rows) == 6
+    for scheme in ("vanilla", "reap"):
+        assert f"{scheme}_locality_p99_advantage" in result.metrics
+        # Both functions fit at 512 MB: nothing promotes there.
+        big = [row for row in result.rows
+               if row["capacity_mb"] == 512 and row["scheme"] == scheme
+               and row["routing"] == "locality"]
+        assert all(row["promotions"] == 0 for row in big)
 
 
 def test_render_produces_readable_report():

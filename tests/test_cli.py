@@ -152,6 +152,24 @@ def test_cli_trace_generate_then_inspect(capsys, tmp_path):
                                  for row in blob["per_function"])
 
 
+def test_cli_trace_inspect_csv(capsys, tmp_path):
+    import csv
+    import io
+
+    path = tmp_path / "trace.jsonl"
+    assert main(["trace", "generate", str(path), "--rate-class", "azure",
+                 "--duration", "240", "--seed", "3"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "inspect", str(path), "--format", "json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    assert main(["trace", "inspect", str(path), "--format", "csv"]) == 0
+    rows = list(csv.DictReader(io.StringIO(capsys.readouterr().out)))
+    # The CSV export carries exactly the per-function table.
+    assert [row["function"] for row in rows] == [
+        entry["function"] for entry in blob["per_function"]]
+    assert sum(int(row["events"]) for row in rows) == blob["events"]
+
+
 def test_cli_trace_generate_rejects_bad_input(capsys, tmp_path):
     path = str(tmp_path / "t.jsonl")
     assert main(["trace", "generate", path,

@@ -101,6 +101,38 @@ def test_reuse_empty_second_set():
     assert stats.unique_fraction == 0.0
 
 
+def test_reuse_degenerate_inputs():
+    # Both empty.
+    empty = reuse_between([], [])
+    assert empty == ReuseStats(same_pages=0, unique_pages=0)
+    assert empty.same_fraction == 0.0 and empty.unique_fraction == 0.0
+    # Empty first set: everything in the second is unique.
+    fresh = reuse_between([], [7, 8])
+    assert fresh == ReuseStats(same_pages=0, unique_pages=2)
+    assert fresh.unique_fraction == 1.0
+    # Single identical page: full reuse.
+    one = reuse_between([9], [9])
+    assert one == ReuseStats(same_pages=1, unique_pages=0)
+    assert one.same_fraction == 1.0
+    # Duplicates in the inputs collapse (sets, as the paper counts).
+    assert reuse_between([1, 1, 2], [2, 2]) == ReuseStats(1, 0)
+
+
+def test_contiguous_runs_fully_contiguous_region():
+    # One maximal run regardless of size; mean length equals the size.
+    pages = range(100)
+    assert contiguous_runs(pages) == [(0, 100)]
+    assert mean_run_length(pages) == pytest.approx(100.0)
+    assert run_length_histogram(pages, max_bucket=8) == {8: 1}
+
+
+def test_contiguous_runs_single_page_and_negatives():
+    assert contiguous_runs([0]) == [(0, 1)]
+    # Negative page numbers are still partitioned consistently (the
+    # function is pure arithmetic; callers validate ranges).
+    assert contiguous_runs([-2, -1, 5]) == [(-2, 2), (5, 1)]
+
+
 def test_stable_working_set():
     assert stable_working_set([]) == frozenset()
     sets = [[1, 2, 3], [2, 3, 4], [2, 3, 5]]
