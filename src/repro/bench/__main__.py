@@ -7,6 +7,9 @@ Subcommands::
     all                       run every experiment
     trace generate FILE       synthesize an invocation trace to a file
     trace inspect FILE        summarize a trace file's shape
+    perf                      measure simulator speed on fixed cells
+                              (writes BENCH_perf.json; see
+                              docs/performance.md)
     clean-cache               drop the on-disk result cache
 
 ``run`` and ``all`` share the execution flags: ``--jobs N`` fans cells
@@ -43,7 +46,7 @@ from repro.bench.cache import ResultCache
 from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve
 from repro.bench.runner import Runner
 
-COMMANDS = ("list", "run", "all", "trace", "clean-cache")
+COMMANDS = ("list", "run", "all", "trace", "perf", "clean-cache")
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +116,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="output encoding (default: table); csv "
                               "emits the per-function rows for external "
                               "tooling")
+
+    perf = commands.add_parser(
+        "perf", help="measure simulator speed (events/sec) on fixed cells")
+    perf.add_argument("--cells", default=None, metavar="A,B,...",
+                      help="comma-separated perf cell ids (default: all; "
+                           "see --list)")
+    perf.add_argument("--list", action="store_true", dest="list_cells",
+                      help="list perf cell ids and exit")
+    perf.add_argument("--output", default=None, metavar="FILE",
+                      help="report file to write (default: "
+                           "BENCH_perf.json)")
+    perf.add_argument("--repeat", type=int, default=1, metavar="N",
+                      help="run each cell N times, keep the fastest "
+                           "(default: 1)")
+    perf.add_argument("--compare", default=None, metavar="PREV",
+                      help="previous BENCH_perf.json to compare against")
+    perf.add_argument("--against", default=None, metavar="CURR",
+                      help="with --compare: compare PREV to CURR without "
+                           "running anything")
+    perf.add_argument("--fail-below", type=float, default=None,
+                      metavar="RATIO", dest="fail_below",
+                      help="exit 3 if any cell's speedup falls below "
+                           "RATIO (needs --compare)")
 
     clean = commands.add_parser("clean-cache",
                                 help="delete cached cell results")
@@ -192,6 +218,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import perf
+
+    if args.list_cells:
+        width = max(len(cell_id) for cell_id in perf.PERF_CELLS)
+        for cell_id, spec in perf.PERF_CELLS.items():
+            print(f"{cell_id.ljust(width)}  {spec.note}")
+        return 0
+
+    def _compare(old_report: dict, new_report: dict) -> int:
+        rows = perf.compare_reports(old_report, new_report)
+        print(perf.format_comparison(rows))
+        if args.fail_below is not None:
+            slow = [row for row in rows
+                    if row["speedup"] is not None
+                    and row["speedup"] < args.fail_below]
+            if slow:
+                names = ", ".join(row["cell"] for row in slow)
+                print(f"error: speedup below {args.fail_below} for: "
+                      f"{names}", file=sys.stderr)
+                return 3
+        return 0
+
+    try:
+        if args.against is not None:
+            if args.compare is None:
+                print("error: --against requires --compare",
+                      file=sys.stderr)
+                return 2
+            return _compare(perf.load_report(args.compare),
+                            perf.load_report(args.against))
+        cell_ids = None if args.cells is None else \
+            [cell_id.strip() for cell_id in args.cells.split(",")
+             if cell_id.strip()]
+        report = perf.run_suite(
+            cell_ids, repeat=args.repeat,
+            progress=lambda spec: print(f"running {spec.id} "
+                                        f"({spec.experiment}/{spec.label})"
+                                        f" ...", file=sys.stderr))
+        output = args.output or perf.DEFAULT_OUTPUT
+        perf.save_report(report, output)
+        for cell_id, record in report["cells"].items():
+            print(f"{cell_id:<20} {record['events_per_sec']:>12,.0f} ev/s"
+                  f"  {record['wall_s']:.2f}s  {record['events']:,} events")
+        print(f"wrote {output}", file=sys.stderr)
+        if args.compare is not None:
+            return _compare(perf.load_report(args.compare), report)
+        return 0
+    except (KeyError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _cmd_clean_cache(args: argparse.Namespace) -> int:
     removed = ResultCache(args.cache_dir).clear()
     print(f"removed {removed} cached cell result(s)")
@@ -233,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         if args.command == "clean-cache":
             return _cmd_clean_cache(args)
         names = list(EXPERIMENTS) if args.command == "all" \

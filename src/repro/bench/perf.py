@@ -1,0 +1,332 @@
+"""Perf trajectory suite: simulated-events/sec on a fixed set of cells.
+
+Every optimization PR needs to show its speedup (or catch its
+regression) against the previous state of the tree, and the raw
+experiment tables cannot do that: they report *simulated* quantities,
+which are deliberately identical run-to-run.  This module measures the
+*simulator itself* -- how fast the event loop chews through a fixed,
+representative workload -- and records the numbers in a committed
+``BENCH_perf.json`` at the repo root so the trajectory is visible in
+git history.
+
+The suite is a handful of named **perf cells**, each pinned to one
+experiment cell (same ``cells()/run_cell()`` machinery the bench runner
+uses, executed in-process and uncached):
+
+* ``trace_scale`` -- the Azure-mix trace replayed against a 2-worker
+  cluster: the event-loop stress test (hundreds of thousands of events);
+* ``tail_latency`` -- sporadic open-loop load on one worker: the
+  orchestrator/restore hot path;
+* ``snapstore_tiering`` -- tiered-store replay with eviction pressure:
+  the storage/locality path;
+* ``chunk_index`` -- content-addressed dedup accounting over invocation
+  working sets: the page-set algebra path (no event loop to speak of).
+
+Per cell the report records wall time, events processed
+(:func:`repro.sim.engine.events_processed_total`), events/sec, peak
+RSS, and a digest of the cell payload -- the digest makes ``--compare``
+flag *result drift* as loudly as performance drift.
+
+Schema (``SCHEMA_VERSION`` = 1)::
+
+    {
+      "schema_version": 1,
+      "git_rev": "abc1234",
+      "timestamp": "2026-01-01T00:00:00+00:00",
+      "python": "3.11.7",
+      "cells": {
+        "trace_scale": {
+          "experiment": "trace_scale",
+          "label": "workers=2/vanilla",
+          "events": 708888,
+          "wall_s": 3.008,
+          "events_per_sec": 235668.0,
+          "max_rss_kb": 123456,
+          "payload_digest": "f36cd42a9497385c"
+        },
+        ...
+      }
+    }
+
+See ``docs/performance.md`` for the CLI (``python -m repro.bench perf``)
+and the profiling recipe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Iterable
+
+from repro.bench.cache import canonicalize
+from repro.bench.experiments import EXPERIMENTS
+from repro.sim import engine as sim_engine
+
+SCHEMA_VERSION = 1
+
+#: Default report location -- the repo root when run from it.
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+#: Keys every per-cell record must carry (schema validation).
+CELL_FIELDS = ("experiment", "label", "events", "wall_s",
+               "events_per_sec", "payload_digest")
+
+
+@dataclass(frozen=True)
+class PerfCellSpec:
+    """One named measurement: an experiment cell pinned by label."""
+
+    id: str
+    experiment: str
+    label: str
+    cells_kwargs: dict[str, Any] = field(default_factory=dict)
+    note: str = ""
+
+
+#: The fixed suite, in reporting order.  Parameters are pinned forever:
+#: changing them breaks the trajectory (add a new cell id instead).
+PERF_CELLS: dict[str, PerfCellSpec] = {
+    spec.id: spec for spec in (
+        PerfCellSpec(
+            id="trace_scale",
+            experiment="trace_scale",
+            label="workers=2/vanilla",
+            cells_kwargs={"seed": 42, "duration_s": 600.0,
+                          "cluster_sizes": (2,)},
+            note="Azure-mix replay, 2-worker cluster (event-loop stress)"),
+        PerfCellSpec(
+            id="tail_latency",
+            experiment="tail_latency",
+            label="vanilla",
+            cells_kwargs={"seed": 42},
+            note="sporadic open-loop load (orchestrator/restore path)"),
+        PerfCellSpec(
+            id="snapstore_tiering",
+            experiment="snapstore_tiering",
+            label="cap256/lru/vanilla",
+            cells_kwargs={"seed": 42, "duration_s": 600.0,
+                          "capacities_mb": (256,), "policies": ("lru",),
+                          "repetitions": 1},
+            note="tiered store under eviction pressure (storage path)"),
+        PerfCellSpec(
+            id="chunk_index",
+            experiment="snapstore_capacity",
+            label="pyaes",
+            cells_kwargs={"seed": 42, "functions": ("pyaes",),
+                          "invocations": 8},
+            note="content-addressed dedup accounting (page-set algebra)"),
+    )
+}
+
+
+def resolve_cells(ids: Iterable[str] | None) -> list[PerfCellSpec]:
+    """Map perf-cell ids to specs; ``None`` means the whole suite."""
+    if ids is None:
+        return list(PERF_CELLS.values())
+    specs = []
+    for cell_id in ids:
+        try:
+            specs.append(PERF_CELLS[cell_id])
+        except KeyError:
+            known = ", ".join(PERF_CELLS)
+            raise KeyError(
+                f"unknown perf cell {cell_id!r}; known: {known}") from None
+    return specs
+
+
+def _find_cell(spec: PerfCellSpec):
+    experiment = EXPERIMENTS[spec.experiment]
+    for cell in experiment.cells(**spec.cells_kwargs):
+        if cell.label == spec.label:
+            return cell
+    raise KeyError(f"perf cell {spec.id!r}: no cell labeled "
+                   f"{spec.label!r} in experiment {spec.experiment!r}")
+
+
+def _max_rss_kb() -> int | None:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def payload_digest(payload: Any) -> str:
+    """Short stable digest of a canonicalized cell payload."""
+    encoded = json.dumps(canonicalize(payload), sort_keys=True)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:16]
+
+
+def run_perf_cell(spec: PerfCellSpec, repeat: int = 1) -> dict[str, Any]:
+    """Measure one perf cell; returns its report record.
+
+    With ``repeat > 1`` the cell runs multiple times and the *fastest*
+    wall time wins (the standard best-of-N way to shave scheduler
+    noise); the payload is deterministic, so events and digest are
+    identical across repeats.
+    """
+    cell = _find_cell(spec)
+    experiment = EXPERIMENTS[spec.experiment]
+    best_wall = None
+    events = 0
+    payload = None
+    for _ in range(max(1, repeat)):
+        before = sim_engine.events_processed_total()
+        started = time.perf_counter()
+        payload = experiment.run_cell(cell)
+        wall = time.perf_counter() - started
+        events = sim_engine.events_processed_total() - before
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    record = {
+        "experiment": spec.experiment,
+        "label": spec.label,
+        "events": events,
+        "wall_s": round(best_wall, 4),
+        "events_per_sec": round(events / best_wall, 1) if best_wall else 0.0,
+        "payload_digest": payload_digest(payload),
+    }
+    rss = _max_rss_kb()
+    if rss is not None:
+        record["max_rss_kb"] = rss
+    return record
+
+
+def git_rev() -> str:
+    """Short commit hash of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def run_suite(cell_ids: Iterable[str] | None = None,
+              repeat: int = 1,
+              progress=None) -> dict[str, Any]:
+    """Run the suite and return the full report dict."""
+    cells: dict[str, Any] = {}
+    for spec in resolve_cells(cell_ids):
+        if progress is not None:
+            progress(spec)
+        cells[spec.id] = run_perf_cell(spec, repeat=repeat)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_rev": git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "cells": cells,
+    }
+
+
+def save_report(report: dict[str, Any], path: str) -> None:
+    """Write a report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Read a report and validate its schema; raises ``ValueError``."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    errors = validate_report(report)
+    if errors:
+        raise ValueError(f"{path}: " + "; ".join(errors))
+    return report
+
+
+def validate_report(report: Any) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {report.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION}")
+    for key in ("git_rev", "timestamp"):
+        if not isinstance(report.get(key), str):
+            problems.append(f"missing/invalid {key!r}")
+    cells = report.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        problems.append("missing/empty 'cells'")
+        return problems
+    for cell_id, record in cells.items():
+        if not isinstance(record, dict):
+            problems.append(f"cell {cell_id!r} is not an object")
+            continue
+        for fieldname in CELL_FIELDS:
+            if fieldname not in record:
+                problems.append(f"cell {cell_id!r} missing {fieldname!r}")
+    return problems
+
+
+def compare_reports(old: dict[str, Any],
+                    new: dict[str, Any]) -> list[dict[str, Any]]:
+    """Per-cell speedup rows of ``new`` relative to ``old``.
+
+    ``speedup`` is the events/sec ratio (>1 = faster).  Cells present in
+    only one report get a row with ``speedup = None``.  A payload-digest
+    mismatch sets ``result_drift`` -- the cell no longer computes the
+    same thing, so its timing is not comparable.
+    """
+    rows = []
+    cell_ids = list(old.get("cells", {}))
+    cell_ids += [cid for cid in new.get("cells", {}) if cid not in cell_ids]
+    for cell_id in cell_ids:
+        old_rec = old.get("cells", {}).get(cell_id)
+        new_rec = new.get("cells", {}).get(cell_id)
+        if old_rec is None or new_rec is None:
+            rows.append({"cell": cell_id, "speedup": None,
+                         "result_drift": False,
+                         "missing_in": "old" if old_rec is None else "new"})
+            continue
+        old_eps = float(old_rec["events_per_sec"])
+        new_eps = float(new_rec["events_per_sec"])
+        if old_eps > 0 and new_eps > 0:
+            speedup = new_eps / old_eps
+        elif float(new_rec["wall_s"]) > 0:
+            # Event-free cells (pure page-set algebra): wall-time ratio.
+            speedup = float(old_rec["wall_s"]) / float(new_rec["wall_s"])
+        else:
+            speedup = None
+        rows.append({
+            "cell": cell_id,
+            "old_events_per_sec": old_rec["events_per_sec"],
+            "new_events_per_sec": new_rec["events_per_sec"],
+            "old_wall_s": old_rec["wall_s"],
+            "new_wall_s": new_rec["wall_s"],
+            "speedup": round(speedup, 3) if speedup is not None else None,
+            "result_drift": (old_rec["payload_digest"]
+                             != new_rec["payload_digest"]),
+        })
+    return rows
+
+
+def format_comparison(rows: list[dict[str, Any]]) -> str:
+    """Human-readable comparison table."""
+    lines = [f"{'cell':<20} {'old ev/s':>12} {'new ev/s':>12} "
+             f"{'speedup':>8}  wall"]
+    for row in rows:
+        if row["speedup"] is None and "missing_in" in row:
+            lines.append(f"{row['cell']:<20} "
+                         f"(only in {'new' if row['missing_in'] == 'old' else 'old'} report)")
+            continue
+        drift = "  [RESULT DRIFT]" if row["result_drift"] else ""
+        speedup = (f"{row['speedup']:.2f}x"
+                   if row["speedup"] is not None else "n/a")
+        lines.append(
+            f"{row['cell']:<20} {row['old_events_per_sec']:>12,.0f} "
+            f"{row['new_events_per_sec']:>12,.0f} {speedup:>8}  "
+            f"{row['old_wall_s']:.2f}s -> {row['new_wall_s']:.2f}s{drift}")
+    return "\n".join(lines)

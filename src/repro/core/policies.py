@@ -91,17 +91,30 @@ class VanillaPolicy(RestorePolicy):
 
         fault_cpu_us = self.snapshot.profile.fault_cpu_us
         env = self.host.env
+        fault_in = page_cache.fault_in
+        hit_cost = page_cache.hit_cost
+        written = memory_file._written_blocks
+        install = vm.memory.install
+        timeout = env.timeout
 
         def handler(page: int) -> Generator[Event, Any, None]:
             breakdown.demand_faults += 1
-            was_major = yield from page_cache.fault_in(memory_file, page)
+            # Minor-fault fast path: no fault_in generator for hits.
+            cost = hit_cost(memory_file, page)
+            if cost is not None:
+                yield timeout(cost)
+                if page not in written:
+                    breakdown.zero_faults += 1
+                install(page)
+                return
+            was_major = yield from fault_in(memory_file, page)
             if was_major:
                 breakdown.major_faults += 1
                 if fault_cpu_us > 0.0:
-                    yield env.timeout(fault_cpu_us)
-            elif not memory_file.has_block(page):
+                    yield timeout(fault_cpu_us)
+            elif page not in written:
                 breakdown.zero_faults += 1
-            vm.memory.install(page)
+            install(page)
 
         return handler
 

@@ -145,17 +145,21 @@ class FunctionBehavior:
         span = high - low - length
         if span < 0:
             return None
+        # isdisjoint over a range matches the all(... not in ...) check
+        # page for page, in C.
+        isdisjoint = occupied.isdisjoint
+        randint = stream.randint
         for _attempt in range(64):
-            start = low + stream.randint(0, span)
+            start = low + randint(0, span)
             candidate = range(start, start + length)
-            if all(page not in occupied for page in candidate):
+            if isdisjoint(candidate):
                 return list(candidate)
         # Dense region: fall back to a linear sweep from a random point.
-        start = low + stream.randint(0, span)
+        start = low + randint(0, span)
         for base in list(range(start, high - length + 1)) \
                 + list(range(low, start)):
             candidate = range(base, base + length)
-            if all(page not in occupied for page in candidate):
+            if isdisjoint(candidate):
                 return list(candidate)
         return None
 
@@ -181,8 +185,10 @@ class FunctionBehavior:
         unique_runs = self._draw_unique_runs(stream.child("unique"))
         merged = stable_runs + unique_runs
         stream.child("proc-order").shuffle(merged)
-        connection_pages = tuple(page for run in conn_runs for page in run)
-        processing_pages = tuple(page for run in merged for page in run)
+        connection_pages = tuple(
+            [page for run in conn_runs for page in run])
+        processing_pages = tuple(
+            [page for run in merged for page in run])
         return AccessTrace(
             connection_pages=connection_pages,
             processing_pages=processing_pages,

@@ -62,6 +62,10 @@ class GuestMemory:
         self.mode = mode
         self.content_mode = content
         self.backing_file = backing_file
+        #: Cached page total (the region never resizes); keeps the
+        #: per-install bounds check free of the division in the property.
+        self._page_count = size_bytes // PAGE_SIZE
+        self._full_content = content is ContentMode.FULL
         self._present: set[int] = set()
         self._content: dict[int, bytes] = {}
         #: Ordered log of first-touch page installs (guest-physical page
@@ -72,7 +76,7 @@ class GuestMemory:
     @property
     def page_count(self) -> int:
         """Total pages in the region."""
-        return self.size_bytes // PAGE_SIZE
+        return self._page_count
 
     @property
     def present_pages(self) -> int:
@@ -90,9 +94,9 @@ class GuestMemory:
 
     def check_page(self, page: int) -> None:
         """Validate a page number against the region bounds."""
-        if not 0 <= page < self.page_count:
+        if not 0 <= page < self._page_count:
             raise ValueError(
-                f"page {page} outside region of {self.page_count} pages")
+                f"page {page} outside region of {self._page_count} pages")
 
     def install(self, page: int, data: bytes | None = None,
                 verify: bool = True) -> None:
@@ -103,10 +107,15 @@ class GuestMemory:
         snapshot backing file -- the end-to-end correctness check for
         every restore policy.
         """
-        self.check_page(page)
+        # Present pages are always in bounds, so the cheap membership
+        # test can run before the bounds check (which is inlined: this
+        # runs once per demand fault).
         if page in self._present:
             return
-        if self.content_mode is ContentMode.FULL:
+        if not 0 <= page < self._page_count:
+            raise ValueError(
+                f"page {page} outside region of {self._page_count} pages")
+        if self._full_content:
             expected = self._backing_bytes(page)
             if data is None:
                 data = expected
@@ -144,9 +153,7 @@ class GuestMemory:
 
     def populate_all(self) -> None:
         """Mark the whole region present (used after a full boot)."""
-        for page in range(self.page_count):
-            if page not in self._present:
-                self._present.add(page)
+        self._present.update(range(self.page_count))
 
     def populate(self, pages_iter, filler=None) -> None:
         """Mark pages present (boot modelling).
@@ -154,13 +161,41 @@ class GuestMemory:
         ``filler(page) -> bytes`` supplies content in full-content mode;
         without it, populated pages carry zeros.
         """
+        present = self._present
+        order = self.install_order
+        page_count = self.page_count
+        want_content = (self.content_mode is ContentMode.FULL
+                        and filler is not None)
+        if not want_content:
+            # Bulk path: boot populates hundreds of thousands of pages;
+            # dedupe in first-occurrence order and update the present set
+            # in one C-level call instead of per-page add/append.
+            pages = list(pages_iter)
+            if not pages:
+                return
+            if min(pages) < 0 or max(pages) >= page_count:
+                for page in pages:
+                    if not 0 <= page < page_count:
+                        raise ValueError(
+                            f"page {page} outside region of "
+                            f"{page_count} pages")
+            if present:
+                fresh = [page for page in dict.fromkeys(pages)
+                         if page not in present]
+            else:
+                fresh = list(dict.fromkeys(pages))
+            present.update(fresh)
+            order.extend(fresh)
+            return
+        content = self._content
         for page in pages_iter:
-            self.check_page(page)
-            if page not in self._present:
-                if self.content_mode is ContentMode.FULL and filler is not None:
-                    self._content[page] = filler(page)
-                self._present.add(page)
-                self.install_order.append(page)
+            if not 0 <= page < page_count:
+                raise ValueError(
+                    f"page {page} outside region of {page_count} pages")
+            if page not in present:
+                content[page] = filler(page)
+                present.add(page)
+                order.append(page)
 
     def faulted_pages(self) -> list[int]:
         """First-touch pages in install order."""

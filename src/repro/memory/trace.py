@@ -42,11 +42,16 @@ class AccessTrace:
     label: str = ""
 
     def __post_init__(self) -> None:
-        seen: set[int] = set()
-        for page in self.connection_pages + self.processing_pages:
-            if page in seen:
-                raise ValueError(f"duplicate page {page} in access trace")
-            seen.add(page)
+        combined = self.connection_pages + self.processing_pages
+        # C-speed duplicate check; walk to name the offender only on
+        # failure (one trace is validated per invocation).
+        if len(set(combined)) != len(combined):
+            seen: set[int] = set()
+            for page in combined:
+                if page in seen:
+                    raise ValueError(
+                        f"duplicate page {page} in access trace")
+                seen.add(page)
 
     @property
     def pages(self) -> tuple[int, ...]:

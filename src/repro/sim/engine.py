@@ -8,12 +8,38 @@ faults, vCPUs replaying memory traces, disk channels draining queues.
 
 Two properties matter for reproduction quality:
 
-* **Determinism.**  Ties in the event heap break on a monotonically
-  increasing sequence number, so two events at the same timestamp always
-  fire in schedule order.
+* **Determinism.**  Ties in the event queue break on schedule order: two
+  events at the same timestamp always fire in the order they were
+  scheduled, no matter which internal queue carried them.
 * **Error transparency.**  An exception raised inside a process propagates
   to whoever waits on it (and out of :meth:`Environment.run` if nobody
   does), so broken models fail loudly instead of silently dropping work.
+
+**The fast path.**  Replaying trace-scale workloads pushes hundreds of
+thousands of events through this loop, so the engine keeps per-event
+overhead minimal:
+
+* every event class uses ``__slots__`` (no per-event ``__dict__``);
+* zero-delay occurrences (``succeed``/``fail``, resource grants,
+  already-due wakeups) go through a FIFO *immediate* deque in O(1)
+  instead of the time heap -- ordering is provably identical because a
+  heap entry due at the current time was always scheduled earlier (and
+  the loop drains due heap entries before immediates);
+* callbacks on already-processed events and process bootstraps are
+  queued as bare ``(callback, event)`` pairs instead of proxy
+  :class:`Event` allocations;
+* a waiting :class:`Process` registers *itself* as the callback (the
+  dispatch loop detects it by type and resumes it directly), so the
+  common wait path allocates no bound-method object;
+* :meth:`Environment.run` inlines the pop/dispatch loop, and
+  :meth:`Environment.timeout` builds the :class:`Timeout` in a single
+  frame (no ``type.__call__``/``__init__`` double dispatch).
+
+Setting ``fastpath=False`` on :class:`Environment` (or exporting
+``REPRO_ENGINE_SLOWPATH=1``) routes every occurrence through the
+reference time heap; ``tests/test_perf_equivalence.py`` pins that both
+paths produce byte-identical experiment results and process the same
+number of events.
 
 See also :mod:`repro.sim.rng` (the other half of the determinism
 story: named seed derivation) and the "How determinism works" note in
@@ -22,8 +48,20 @@ story: named seed derivation) and the "How determinism works" note in
 
 from __future__ import annotations
 
-import heapq
+import gc
+import os
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Process-wide count of events processed by every Environment, for the
+#: ``bench perf`` suite (simulated-events/sec).  Monotonic; never reset.
+_events_processed_total = 0
+
+
+def events_processed_total() -> int:
+    """Events processed by all environments in this process so far."""
+    return _events_processed_total
 
 
 class SimulationError(RuntimeError):
@@ -50,16 +88,42 @@ class Event:
     run when the engine processes the event.
     """
 
+    __slots__ = ("env", "_cb", "_cbs", "_value", "_exception", "_triggered",
+                 "_processed", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # Callback storage is split into a single slot (``_cb``, covering
+        # the overwhelmingly common one-waiter case with no list
+        # allocation) plus a lazily created overflow list (``_cbs``).
+        self._cb: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._exception: Optional[BaseException] = None
         self._triggered = False
         self._processed = False
-        #: Set when some waiter consumed a failure, so unhandled failures
-        #: can still be detected for fire-and-forget events.
+        # _defused is set when some waiter consumed a failure, so
+        # unhandled failures can still be detected for fire-and-forget
+        # events.
         self._defused = False
+
+    @property
+    def callbacks(self) -> Optional[list[Callable[["Event"], None]]]:
+        """Registered callbacks (``None`` once the event is processed).
+
+        Provided for introspection; registration should go through
+        :meth:`_add_callback` (or by yielding the event from a process).
+        A waiting process is stored as the process object itself; it is
+        presented here as its ``_resume`` method so identity checks like
+        ``proc._resume in event.callbacks`` keep working.
+        """
+        if self._processed:
+            return None
+        entries = [] if self._cb is None else [self._cb]
+        if self._cbs:
+            entries.extend(self._cbs)
+        return [entry._resume if type(entry) is Process else entry
+                for entry in entries]
 
     @property
     def triggered(self) -> bool:
@@ -89,7 +153,12 @@ class Event:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self._value = value
-        self.env._queue_event(self)
+        env = self.env
+        if env._fastpath:
+            env._immediate.append(self)
+        else:
+            heappush(env._heap, (env._now, env._sequence, self))
+            env._sequence += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -100,33 +169,52 @@ class Event:
             raise SimulationError("fail() requires an exception instance")
         self._triggered = True
         self._exception = exception
-        self.env._queue_event(self)
+        env = self.env
+        if env._fastpath:
+            env._immediate.append(self)
+        else:
+            heappush(env._heap, (env._now, env._sequence, self))
+            env._sequence += 1
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
-            # Already processed: run the callback via a zero-delay proxy so
-            # ordering stays inside the engine.  The callback still receives
-            # *this* event (waiters check identity against what they yielded).
-            proxy = Event(self.env)
-            proxy.callbacks.append(lambda _proxy: callback(self))
-            proxy._defused = True
-            proxy._triggered = True
-            self.env._queue_event(proxy)
+        if self._processed:
+            # Already processed: run the callback via a zero-delay queue
+            # entry so ordering stays inside the engine.  The callback
+            # still receives *this* event (waiters check identity against
+            # what they yielded).
+            self.env._schedule_call(callback, self)
+        elif self._cb is None:
+            self._cb = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self.callbacks.append(callback)
+            self._cbs.append(callback)
 
 
 class Timeout(Event):
     """An event that fires ``delay`` time units in the future."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(env)
-        self._triggered = True
+        # Inlined Event.__init__ + queueing: timeouts are the hottest
+        # allocation in every model.
+        self.env = env
+        self._cb = None
+        self._cbs = None
         self._value = value
-        env._queue_event(self, delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self._defused = False
+        if delay == 0.0 and env._fastpath:
+            env._immediate.append(self)
+        else:
+            heappush(env._heap, (env._now + delay, env._sequence, self))
+            env._sequence += 1
 
 
 class AllOf(Event):
@@ -134,6 +222,8 @@ class AllOf(Event):
 
     Fails fast with the first child failure.
     """
+
+    __slots__ = ("_children", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -160,11 +250,17 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires when the first child event fires; value is ``(index, value)``."""
 
+    __slots__ = ("_children",)
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._children = list(events)
         if not self._children:
-            raise SimulationError("AnyOf requires at least one event")
+            process = env._active_process
+            where = (f" (in process {process.name!r})"
+                     if process is not None else "")
+            raise SimulationError(
+                f"AnyOf requires at least one event{where}")
         for index, event in enumerate(self._children):
             event._add_callback(lambda ev, i=index: self._on_child(i, ev))
 
@@ -182,9 +278,25 @@ class AnyOf(Event):
 
 ProcessGenerator = Generator[Event, Any, Any]
 
+#: Allocate an event without running ``type.__call__`` (hot-path helper).
+_new_event = object.__new__
+
+
+class _Bootstrap:
+    """Inert stand-in event that delivers ``None`` to a new process."""
+
+    __slots__ = ()
+    _value = None
+    _exception = None
+
+
+_BOOTSTRAP = _Bootstrap()
+
 
 class Process(Event):
     """A running generator; itself an event that fires on completion."""
+
+    __slots__ = ("_generator", "_send", "name", "_waiting_on")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -192,14 +304,12 @@ class Process(Event):
         if not hasattr(generator, "send"):
             raise SimulationError("process body must be a generator")
         self._generator = generator
+        self._send = generator.send
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Kick off the first step at the current time.
-        bootstrap = Event(env)
-        bootstrap._triggered = True
-        bootstrap._defused = True
-        env._queue_event(bootstrap)
-        bootstrap.callbacks.append(self._resume)
+        # Kick off the first step at the current time (no proxy Event:
+        # a bare callback entry resumes us with a None value).
+        env._schedule_call(self, _BOOTSTRAP)
 
     @property
     def is_alive(self) -> bool:
@@ -208,53 +318,94 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._triggered:
             return
-        wake = Event(self.env)
+        env = self.env
+        wake = Event(env)
         wake._triggered = True
         wake._exception = Interrupt(cause)
         wake._defused = True
         self._waiting_on = None
-        wake.callbacks.append(self._resume)
-        self.env._queue_event(wake)
+        wake._cb = self
+        if env._fastpath:
+            env._immediate.append(wake)
+        else:
+            heappush(env._heap, (env._now, env._sequence, wake))
+            env._sequence += 1
 
     def _resume(self, event: Event) -> None:
         if self._triggered:
             return
         # Ignore wakeups from events we stopped waiting on (e.g. after an
         # interrupt raced with the original wait target).
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting = self._waiting_on
+        if waiting is not None and event is not waiting:
             if not event.ok:
                 event._defused = True
             return
         self._waiting_on = None
+        env = self.env
+        env._active_process = self
         try:
             if event._exception is not None:
                 event._defused = True
                 target = self._generator.throw(event._exception)
             else:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate to waiters
             self.fail(exc)
             return
-        if not isinstance(target, Event):
+        finally:
+            env._active_process = None
+        try:
+            processed = target._processed
+        except AttributeError:
             self.fail(SimulationError(
                 f"process {self.name!r} yielded {target!r}, not an Event"))
             return
         self._waiting_on = target
-        target._add_callback(self._resume)
+        # Register ourselves (not a bound method) as the waiter; the
+        # dispatch loops detect Process entries by type.
+        if processed:
+            env._schedule_call(self, target)
+        elif target._cb is None:
+            target._cb = self
+        elif target._cbs is None:
+            target._cbs = [self]
+        else:
+            target._cbs.append(self)
 
 
 class Environment:
-    """The simulation environment: clock plus event queue."""
+    """The simulation environment: clock plus event queue.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``fastpath`` selects the optimized zero-delay immediate queue
+    (default); pass ``False`` -- or export ``REPRO_ENGINE_SLOWPATH=1``
+    -- to route everything through the reference time heap.  Both paths
+    process events in exactly the same order.
+    """
+
+    __slots__ = ("_now", "_heap", "_sequence", "_immediate", "_fastpath",
+                 "_active_process", "events_processed")
+
+    def __init__(self, initial_time: float = 0.0,
+                 fastpath: Optional[bool] = None) -> None:
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, Any]] = []
         self._sequence = 0
+        self._immediate: deque[Any] = deque()
+        if fastpath is None:
+            fastpath = not os.environ.get("REPRO_ENGINE_SLOWPATH")
+        self._fastpath = bool(fastpath)
+        #: The process currently being resumed (None outside a resume);
+        #: lets structural errors name their offending process.
+        self._active_process: Optional[Process] = None
+        #: Events processed by this environment (see also the module
+        #: counter :func:`events_processed_total`).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -266,8 +417,29 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` from now."""
-        return Timeout(self, delay, value)
+        """Create an event firing ``delay`` from now.
+
+        Built in one frame (``object.__new__`` plus direct slot stores)
+        instead of ``Timeout(...)``: timeouts are the hottest allocation
+        in every model and the class-call double dispatch is measurable.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        event = _new_event(Timeout)
+        event.env = self
+        event._cb = None
+        event._cbs = None
+        event._value = value
+        event._exception = None
+        event._triggered = True
+        event._processed = False
+        event._defused = False
+        if delay == 0.0 and self._fastpath:
+            self._immediate.append(event)
+        else:
+            heappush(self._heap, (self._now + delay, self._sequence, event))
+            self._sequence += 1
+        return event
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Launch a process from a generator."""
@@ -282,41 +454,167 @@ class Environment:
         return AnyOf(self, events)
 
     def _queue_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
-        self._sequence += 1
+        if delay == 0.0 and self._fastpath:
+            self._immediate.append(event)
+        else:
+            heappush(self._heap, (self._now + delay, self._sequence, event))
+            self._sequence += 1
+
+    def _schedule_call(self, callback: Callable[[Any], None],
+                       event: Any) -> None:
+        if self._fastpath:
+            self._immediate.append((callback, event))
+        else:
+            heappush(self._heap,
+                     (self._now, self._sequence, (callback, event)))
+            self._sequence += 1
 
     def _step(self) -> None:
-        when, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
-        if callbacks:
-            for callback in callbacks:
+        """Process exactly one queued item (reference implementation)."""
+        global _events_processed_total
+        heap = self._heap
+        immediate = self._immediate
+        if heap and (not immediate or heap[0][0] <= self._now):
+            when, _seq, item = heappop(heap)
+            self._now = when
+        else:
+            item = immediate.popleft()
+        self.events_processed += 1
+        _events_processed_total += 1
+        if type(item) is tuple:
+            callback, event = item
+            if type(callback) is Process:
+                callback._resume(event)
+            else:
                 callback(event)
-        elif event._exception is not None and not event._defused:
+            return
+        item._processed = True
+        callback = item._cb
+        if callback is not None:
+            item._cb = None
+            if type(callback) is Process:
+                callback._resume(item)
+            else:
+                callback(item)
+            more = item._cbs
+            if more:
+                item._cbs = None
+                for callback in more:
+                    if type(callback) is Process:
+                        callback._resume(item)
+                    else:
+                        callback(item)
+        elif item._exception is not None and not item._defused:
             # A failure nobody waited for: surface it rather than lose it.
-            raise event._exception
+            raise item._exception
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the event loop.
 
         ``until`` may be ``None`` (run to exhaustion), a time, or an
         :class:`Event` (run until it is processed, returning its value).
+        When ``until`` is a time, the clock always advances to it, even
+        if the queue empties early.
         """
-        if isinstance(until, Event):
-            target = until
-            while not target._processed:
-                if not self._heap:
-                    raise SimulationError(
-                        "event queue exhausted before target event fired")
-                self._step()
-            if target._exception is not None:
-                raise target._exception
-            return target._value
-        deadline = float("inf") if until is None else float(until)
-        while self._heap and self._heap[0][0] <= deadline:
-            self._step()
-        if until is not None:
-            self._now = max(self._now, deadline)
-        return None
+        global _events_processed_total
+        heap = self._heap
+        immediate = self._immediate
+        count = 0
+        # The loop allocates short-lived container objects (events, call
+        # tuples, generators) at a rate that keeps the cyclic collector
+        # busy for no benefit -- nearly everything dies by refcount.
+        # Suspend it for the duration of the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if isinstance(until, Event):
+                target = until
+                while not target._processed:
+                    if heap and (not immediate or heap[0][0] <= self._now):
+                        when, _seq, item = heappop(heap)
+                        self._now = when
+                    elif immediate:
+                        item = immediate.popleft()
+                    else:
+                        raise SimulationError(
+                            "event queue exhausted before target event "
+                            "fired")
+                    count += 1
+                    if type(item) is tuple:
+                        callback, event = item
+                        if type(callback) is Process:
+                            callback._resume(event)
+                        else:
+                            callback(event)
+                        continue
+                    item._processed = True
+                    callback = item._cb
+                    if callback is not None:
+                        item._cb = None
+                        if type(callback) is Process:
+                            callback._resume(item)
+                        else:
+                            callback(item)
+                        more = item._cbs
+                        if more:
+                            item._cbs = None
+                            for callback in more:
+                                if type(callback) is Process:
+                                    callback._resume(item)
+                                else:
+                                    callback(item)
+                    elif item._exception is not None and not item._defused:
+                        raise item._exception
+                if target._exception is not None:
+                    raise target._exception
+                return target._value
+
+            deadline = float("inf") if until is None else float(until)
+            while True:
+                if heap and (not immediate or heap[0][0] <= self._now):
+                    when = heap[0][0]
+                    if when > deadline:
+                        break
+                    when, _seq, item = heappop(heap)
+                    self._now = when
+                elif immediate:
+                    if self._now > deadline:
+                        break
+                    item = immediate.popleft()
+                else:
+                    break
+                count += 1
+                if type(item) is tuple:
+                    callback, event = item
+                    if type(callback) is Process:
+                        callback._resume(event)
+                    else:
+                        callback(event)
+                    continue
+                item._processed = True
+                callback = item._cb
+                if callback is not None:
+                    item._cb = None
+                    if type(callback) is Process:
+                        callback._resume(item)
+                    else:
+                        callback(item)
+                    more = item._cbs
+                    if more:
+                        item._cbs = None
+                        for callback in more:
+                            if type(callback) is Process:
+                                callback._resume(item)
+                            else:
+                                callback(item)
+                elif item._exception is not None and not item._defused:
+                    raise item._exception
+            if until is not None:
+                self._now = max(self._now, deadline)
+            return None
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self.events_processed += count
+            _events_processed_total += count

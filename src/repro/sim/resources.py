@@ -15,16 +15,30 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappush
 from typing import Any, Generator, Optional
 
 from repro.sim.engine import Environment, Event, SimulationError
+
+_new_request = object.__new__
 
 
 class Request(Event):
     """A pending acquisition of a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.env)
+        # Inlined Event.__init__ -- requests are allocated once per
+        # device I/O, a hot path in every storage-bound experiment.
+        self.env = resource.env
+        self._cb = None
+        self._cbs = None
+        self._value = None
+        self._exception = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
         self.resource = resource
 
     def __enter__(self) -> "Request":
@@ -57,9 +71,36 @@ class Resource:
 
     def request(self) -> Request:
         """Request a slot; the returned event fires when granted."""
-        request = Request(self)
-        self._queue.append(request)
-        self._grant()
+        # Allocate without type.__call__ (one Request per device I/O).
+        request = _new_request(Request)
+        request.env = self.env
+        request._cb = None
+        request._cbs = None
+        request._value = None
+        request._exception = None
+        request._triggered = False
+        request._processed = False
+        request._defused = False
+        request.resource = self
+        users = self._users
+        if not self._queue and len(users) < self.capacity:
+            # Uncontended fast path: grant inline.  Equivalent to
+            # append + _grant (a non-empty queue implies a full resource,
+            # so this branch fires exactly when _grant would pop the
+            # request straight back off); the inline trigger mirrors
+            # Event.succeed without the extra call.
+            users.add(request)
+            request._triggered = True
+            request._value = request
+            env = self.env
+            if env._fastpath:
+                env._immediate.append(request)
+            else:
+                heappush(env._heap, (env._now, env._sequence, request))
+                env._sequence += 1
+        else:
+            self._queue.append(request)
+            self._grant()
         return request
 
     def release(self, request: Request) -> None:
@@ -95,6 +136,8 @@ class Resource:
 
 class PriorityRequest(Request):
     """A resource request carrying a priority (lower value = sooner)."""
+
+    __slots__ = ("priority",)
 
     def __init__(self, resource: "PriorityResource", priority: float) -> None:
         super().__init__(resource)

@@ -43,6 +43,11 @@ class RandomStream:
         self._seed = derive_seed(seed, *path) if path else seed
         self._path = path
         self._rng = random.Random(self._seed)
+        # Bound method caches for the hot-loop distributions; both
+        # shortcuts consume the underlying stream exactly like the
+        # random.Random public wrappers they bypass.
+        self._randbelow = self._rng._randbelow
+        self._random = self._rng.random
 
     @property
     def seed(self) -> int:
@@ -59,7 +64,11 @@ class RandomStream:
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` (inclusive)."""
-        return self._rng.randint(low, high)
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        # Same draw as random.randint (one _randbelow of the width)
+        # without the randrange argument-validation layers.
+        return low + self._randbelow(high - low + 1)
 
     def random(self) -> float:
         """Uniform float in ``[0, 1)``."""
@@ -83,7 +92,8 @@ class RandomStream:
         success = 1.0 / mean
         # Inverse-transform sampling of the geometric distribution.
         count = 1
-        while self._rng.random() > success:
+        rnd = self._random
+        while rnd() > success:
             count += 1
         return count
 

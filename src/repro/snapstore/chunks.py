@@ -10,10 +10,14 @@ capacity is accounted in *stored* (deduplicated, compressed) bytes
 rather than logical bytes.
 
 The index is pure bookkeeping -- it holds digests and sizes, never page
-bytes -- so it can account catalog-scale stores cheaply.  Digests come
-from the deterministic :mod:`repro.functions.content` page model, which
-is what lets the ``snapstore_capacity`` experiment reproduce the Fig. 5
-identity fractions without a full-content simulation.
+bytes -- so it can account catalog-scale stores cheaply.  Refcounts and
+byte totals are maintained incrementally: adds and releases batch their
+per-digest work through a :class:`collections.Counter`, and
+``stored_bytes`` / ``logical_bytes`` are O(1) reads rather than sweeps
+over the chunk map.  Digests come from the deterministic
+:mod:`repro.functions.content` page model, which is what lets the
+``snapstore_capacity`` experiment reproduce the Fig. 5 identity
+fractions without a full-content simulation.
 
 **Compression model.**  Real snapshot stores compress chunks (LZ4-class
 ratios around 2x on guest memory); here every chunk gets a deterministic
@@ -27,10 +31,10 @@ store special-cases them.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from collections import Counter
+from functools import lru_cache
 from typing import Iterable
 
-from repro.functions.content import page_bytes
 from repro.sim.units import PAGE_SIZE
 
 #: Digest prefix length; 16 bytes keeps collision odds negligible at
@@ -45,6 +49,9 @@ ZERO_CHUNK_STORED_BYTES = 128
 COMPRESSION_MIN = 0.35
 COMPRESSION_SPAN = 0.40
 
+#: sha256 digests per page when expanding seed bytes to page contents.
+_SEED_REPEATS = PAGE_SIZE // 32
+
 
 def page_digest(data: bytes) -> bytes:
     """Content address of one 4 KiB page."""
@@ -58,6 +65,7 @@ def page_digest(data: bytes) -> bytes:
 ZERO_PAGE_DIGEST = page_digest(bytes(PAGE_SIZE))
 
 
+@lru_cache(maxsize=1 << 16)
 def snapshot_page_digest(function_name: str, epoch: int,
                          page: int) -> bytes:
     """Digest of a snapshot memory-file page under the content model.
@@ -65,8 +73,15 @@ def snapshot_page_digest(function_name: str, epoch: int,
     Equals ``page_digest(page_bytes(function_name, epoch, page))`` --
     the bytes a full-content simulation would place in the guest memory
     file -- so index-level dedup agrees with byte-level comparison.
+    (The test suite pins this identity; the body fuses the page-bytes
+    expansion -- a page is its 32-byte seed digest repeated 128 times,
+    so the trailing slice of :func:`page_bytes` is a no-op here -- and
+    memoizes, since experiments digest the same snapshot pages across
+    generations and capacity tiers.)
     """
-    return page_digest(page_bytes(function_name, epoch, page))
+    seed = f"{function_name}/{epoch}/{page}".encode()
+    expanded = hashlib.sha256(seed).digest() * _SEED_REPEATS
+    return hashlib.sha256(expanded).digest()[:DIGEST_BYTES]
 
 
 def compressed_chunk_bytes(digest: bytes) -> int:
@@ -75,14 +90,6 @@ def compressed_chunk_bytes(digest: bytes) -> int:
         return ZERO_CHUNK_STORED_BYTES
     fraction = int.from_bytes(digest[:4], "little") / 2 ** 32
     return int(PAGE_SIZE * (COMPRESSION_MIN + COMPRESSION_SPAN * fraction))
-
-
-@dataclass
-class _Chunk:
-    """One stored chunk: reference count and modeled stored size."""
-
-    refs: int
-    stored_bytes: int
 
 
 class ChunkIndex:
@@ -94,9 +101,19 @@ class ChunkIndex:
     reach zero.  All sizes are bytes.
     """
 
+    __slots__ = ("_refs", "_sizes", "_objects", "_digest_sets",
+                 "_stored_total", "_logical_pages", "reclaimed_bytes")
+
     def __init__(self) -> None:
-        self._chunks: dict[bytes, _Chunk] = {}
+        #: Per-digest reference counts and modeled stored sizes (parallel
+        #: dicts; same key set).
+        self._refs: dict[bytes, int] = {}
+        self._sizes: dict[bytes, int] = {}
         self._objects: dict[str, tuple[bytes, ...]] = {}
+        #: Lazily built digest sets for :meth:`shared_fraction` lookups.
+        self._digest_sets: dict[str, frozenset[bytes]] = {}
+        self._stored_total = 0
+        self._logical_pages = 0
         #: Stored bytes freed by :meth:`release_object` so far.
         self.reclaimed_bytes = 0
 
@@ -114,18 +131,24 @@ class ChunkIndex:
         if object_id in self._objects:
             raise ValueError(f"object {object_id!r} already indexed")
         sequence = tuple(digests)
+        refs = self._refs
+        sizes = self._sizes
         new_chunks = 0
         new_stored = 0
-        for digest in sequence:
-            chunk = self._chunks.get(digest)
-            if chunk is None:
-                self._chunks[digest] = _Chunk(
-                    refs=1, stored_bytes=compressed_chunk_bytes(digest))
+        # One refcount update per distinct digest, not per page.
+        for digest, count in Counter(sequence).items():
+            previous = refs.get(digest)
+            if previous is None:
+                refs[digest] = count
+                size = compressed_chunk_bytes(digest)
+                sizes[digest] = size
                 new_chunks += 1
-                new_stored += self._chunks[digest].stored_bytes
+                new_stored += size
             else:
-                chunk.refs += 1
+                refs[digest] = previous + count
         self._objects[object_id] = sequence
+        self._stored_total += new_stored
+        self._logical_pages += len(sequence)
         return {"pages": len(sequence), "new_chunks": new_chunks,
                 "new_stored_bytes": new_stored}
 
@@ -135,14 +158,20 @@ class ChunkIndex:
             sequence = self._objects.pop(object_id)
         except KeyError:
             raise KeyError(f"object {object_id!r} not indexed") from None
+        self._digest_sets.pop(object_id, None)
+        refs = self._refs
+        sizes = self._sizes
         freed = 0
-        for digest in sequence:
-            chunk = self._chunks[digest]
-            chunk.refs -= 1
-            if chunk.refs == 0:
-                freed += chunk.stored_bytes
-                del self._chunks[digest]
+        for digest, count in Counter(sequence).items():
+            remaining = refs[digest] - count
+            if remaining:
+                refs[digest] = remaining
+            else:
+                del refs[digest]
+                freed += sizes.pop(digest)
         self.reclaimed_bytes += freed
+        self._stored_total -= freed
+        self._logical_pages -= len(sequence)
         return freed
 
     def has_object(self, object_id: str) -> bool:
@@ -155,6 +184,13 @@ class ChunkIndex:
 
     # -- cross-object sharing ---------------------------------------------
 
+    def _digest_set(self, object_id: str) -> frozenset[bytes]:
+        cached = self._digest_sets.get(object_id)
+        if cached is None:
+            cached = frozenset(self._objects[object_id])
+            self._digest_sets[object_id] = cached
+        return cached
+
     def shared_fraction(self, base_id: str, other_id: str) -> float:
         """Fraction of ``other``'s pages whose content ``base`` already holds.
 
@@ -164,34 +200,37 @@ class ChunkIndex:
         ``same_fraction`` whenever page contents are distinct per page
         (the property test in ``tests/test_snapstore.py`` pins this).
         """
-        base = set(self._objects[base_id])
+        base = self._digest_set(base_id)
         other = self._objects[other_id]
         if not other:
             return 0.0
-        return sum(1 for digest in other if digest in base) / len(other)
+        # Per-page weighting: duplicate digests in ``other`` count once
+        # per page, so weight each distinct digest by its multiplicity.
+        shared = sum(count for digest, count in Counter(other).items()
+                     if digest in base)
+        return shared / len(other)
 
     # -- accounting -------------------------------------------------------
 
     @property
     def chunk_count(self) -> int:
         """Distinct chunks currently stored."""
-        return len(self._chunks)
+        return len(self._refs)
 
     @property
     def logical_bytes(self) -> int:
         """Bytes all objects would occupy without dedup or compression."""
-        return sum(len(sequence) for sequence in
-                   self._objects.values()) * PAGE_SIZE
+        return self._logical_pages * PAGE_SIZE
 
     @property
     def unique_bytes(self) -> int:
         """Bytes after dedup, before compression."""
-        return self.chunk_count * PAGE_SIZE
+        return len(self._refs) * PAGE_SIZE
 
     @property
     def stored_bytes(self) -> int:
         """Bytes after dedup and compression (the capacity that counts)."""
-        return sum(chunk.stored_bytes for chunk in self._chunks.values())
+        return self._stored_total
 
     @property
     def dedup_ratio(self) -> float:

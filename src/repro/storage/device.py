@@ -26,22 +26,47 @@ class ReadKind(enum.Enum):
     DIRECT = "direct"
     WRITE = "write"
 
+    # Members are singletons and only ever keyed in dicts (whose
+    # iteration order is insertion order, independent of hash), so the
+    # identity hash is safe -- and avoids Enum's Python-level __hash__
+    # on every per-request stats update.
+    __hash__ = object.__hash__
 
-@dataclass(frozen=True)
+
 class IoRequest:
     """A single device request.
 
     ``lba`` is the byte offset on the device; ``nbytes`` the transfer
     size.  ``kind`` tags the request for statistics.
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one is
+    allocated per device access (the hottest model allocation after
+    timeouts), and frozen-dataclass construction pays
+    ``object.__setattr__`` per field.
     """
 
-    lba: int
-    nbytes: int
-    kind: ReadKind = ReadKind.BUFFERED
+    __slots__ = ("lba", "nbytes", "kind")
 
-    def __post_init__(self) -> None:
-        if self.lba < 0 or self.nbytes <= 0:
-            raise ValueError(f"invalid request lba={self.lba} nbytes={self.nbytes}")
+    def __init__(self, lba: int, nbytes: int,
+                 kind: ReadKind = ReadKind.BUFFERED) -> None:
+        if lba < 0 or nbytes <= 0:
+            raise ValueError(f"invalid request lba={lba} nbytes={nbytes}")
+        self.lba = lba
+        self.nbytes = nbytes
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (f"IoRequest(lba={self.lba!r}, nbytes={self.nbytes!r}, "
+                f"kind={self.kind!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IoRequest):
+            return NotImplemented
+        return (self.lba == other.lba and self.nbytes == other.nbytes
+                and self.kind == other.kind)
+
+    def __hash__(self) -> int:
+        return hash((self.lba, self.nbytes, self.kind))
 
 
 @dataclass
@@ -58,14 +83,16 @@ class DeviceStats:
 
     def record(self, request: IoRequest, now: float) -> None:
         """Account one completed request at simulated time ``now``."""
-        if request.kind is ReadKind.WRITE:
-            self.write_bytes += request.nbytes
+        nbytes = request.nbytes
+        kind = request.kind
+        if kind is ReadKind.WRITE:
+            self.write_bytes += nbytes
             self.write_requests += 1
         else:
-            self.read_bytes += request.nbytes
+            self.read_bytes += nbytes
             self.read_requests += 1
-        self.bytes_by_kind[request.kind] = (
-            self.bytes_by_kind.get(request.kind, 0) + request.nbytes)
+        by_kind = self.bytes_by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + nbytes
         if self.first_io_at is None:
             self.first_io_at = now
         self.last_io_at = now

@@ -162,28 +162,45 @@ class SimFile:
                 return extent.lba + (offset - extent.file_offset)
         raise ValueError(f"offset {offset} unmapped in file {self.name!r}")
 
-    def iter_device_ranges(self, offset: int,
-                           nbytes: int) -> Iterator[tuple[int, int]]:
-        """Yield ``(lba, length)`` pieces covering [offset, offset+nbytes).
+    def device_ranges(self, offset: int,
+                      nbytes: int) -> list[tuple[int, int]]:
+        """``(lba, length)`` pieces covering [offset, offset+nbytes).
 
         A range crossing an extent boundary splits into multiple pieces --
-        each piece is one contiguous device access.
+        each piece is one contiguous device access.  Most files are a
+        single contiguous extent (a freshly written snapshot), which
+        resolves without the general extent walk.
         """
         end = offset + nbytes
         if offset < 0 or end > self.size:
             raise ValueError(
                 f"range [{offset}, {end}) outside file {self.name!r}")
+        extents = self.extents
+        if len(extents) == 1 and nbytes > 0:
+            extent = extents[0]
+            start = extent.file_offset
+            if start <= offset and end <= start + extent.length:
+                return [(extent.lba + (offset - start), nbytes)]
+        ranges: list[tuple[int, int]] = []
         position = offset
         while position < end:
-            for extent in self.extents:
+            for extent in extents:
                 if extent.file_offset <= position < extent.file_end:
                     take = min(extent.file_end, end) - position
-                    yield (extent.lba + (position - extent.file_offset), take)
+                    ranges.append(
+                        (extent.lba + (position - extent.file_offset), take))
                     position += take
                     break
             else:
                 raise ValueError(
                     f"offset {position} unmapped in file {self.name!r}")
+        return ranges
+
+    def iter_device_ranges(self, offset: int,
+                           nbytes: int) -> Iterator[tuple[int, int]]:
+        """Iterator form of :meth:`device_ranges` (kept for callers that
+        expect lazy iteration)."""
+        return iter(self.device_ranges(offset, nbytes))
 
 
 @dataclass

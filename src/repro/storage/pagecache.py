@@ -96,9 +96,28 @@ class HostPageCache:
 
     def drop_caches(self) -> None:
         """Flush everything (``echo 3 > /proc/sys/vm/drop_caches``)."""
+        # Must be .clear(), not a fresh dict: suspended fault_in frames
+        # hold a local reference to this OrderedDict across yields, and
+        # their inserts must land in the (emptied) live cache.
         self._cached.clear()
 
     # -- mmap fault path ---------------------------------------------------
+
+    def hit_cost(self, file: SimFile, block: int) -> float | None:
+        """Serve a fault as a cache hit if resident, without a generator.
+
+        Returns the minor-fault service time (and performs the hit
+        bookkeeping) when the block is cached, ``None`` otherwise.  Fast
+        path for fault handlers: a hit involves no device I/O, so callers
+        can yield a single timeout instead of driving :meth:`fault_in`.
+        """
+        key = (id(file), file.version, block)
+        cached = self._cached
+        if key in cached:
+            self.hits += 1
+            cached.move_to_end(key)
+            return self.params.hit_us
+        return None
 
     def fault_in(self, file: SimFile,
                  block: int) -> Generator[Event, Any, bool]:
@@ -109,50 +128,56 @@ class HostPageCache:
         ``mmap_readahead_pages`` starting at the faulting page, skipping
         already-cached pages at the window edges.
         """
-        key = self._key(file, block)
-        if key in self._cached:
+        # This is the hottest model path (one call per demand fault of
+        # every vanilla restore), so key construction and cache
+        # bookkeeping are inlined.
+        cached = self._cached
+        params = self.params
+        key = (id(file), file.version, block)
+        if key in cached:
             self.hits += 1
-            self._touch(key)
-            yield self.env.timeout(self.params.hit_us)
+            cached.move_to_end(key)
+            yield self.env.timeout(params.hit_us)
             return False
         self.misses += 1
-        if not file.has_block(block):
+        written = file._written_blocks
+        if block not in written:
             # Sparse hole: the kernel maps a zero page, no device I/O.
-            self._insert(key)
-            yield self.env.timeout(self.params.major_fault_us
-                                   + self.params.insert_us)
+            cached[key] = None
+            if len(cached) > params.capacity_pages:
+                cached.popitem(last=False)
+            yield self.env.timeout(params.major_fault_us
+                                   + params.insert_us)
             return False
-        window = self._plan_fault_window(file, block)
-        yield from self._device_read(file, window[0], len(window),
-                                     ReadKind.DEMAND_FAULT)
-        for index in window:
-            self._insert(self._key(file, index))
-        cost = (self.params.major_fault_us
-                + self.params.insert_us * len(window))
+        # Plan the readahead window and issue the device I/O inline
+        # (this path runs once per major fault; the former
+        # _plan_fault_window/_device_read delegation frames are fused).
+        last_block = (file.size - 1) // PAGE_SIZE
+        file_id = id(file)
+        version = file.version
+        window_end = block + 1
+        for candidate in range(block + 1,
+                               block + params.mmap_readahead_pages):
+            if (candidate > last_block
+                    or (file_id, version, candidate) in cached
+                    or candidate not in written):
+                break
+            window_end = candidate + 1
+        n_blocks = window_end - block
+        offset = block * PAGE_SIZE
+        nbytes = min(n_blocks * PAGE_SIZE, file.size - offset)
+        device = file.device
+        for lba, length in file.device_ranges(offset, nbytes):
+            yield from device.read(
+                IoRequest(lba=lba, nbytes=length, kind=ReadKind.DEMAND_FAULT))
+        for index in range(block, window_end):
+            cached[(file_id, version, index)] = None
+        while len(cached) > params.capacity_pages:
+            cached.popitem(last=False)
+        cost = (params.major_fault_us
+                + params.insert_us * n_blocks)
         yield self.env.timeout(cost)
         return True
-
-    def _device_read(self, file: SimFile, first_block: int, n_blocks: int,
-                     kind: ReadKind) -> Generator[Event, Any, None]:
-        offset = first_block * PAGE_SIZE
-        nbytes = min(n_blocks * PAGE_SIZE, file.size - offset)
-        for lba, length in file.iter_device_ranges(offset, nbytes):
-            yield from file.device.read(
-                IoRequest(lba=lba, nbytes=length, kind=kind))
-
-    def _plan_fault_window(self, file: SimFile, block: int) -> list[int]:
-        last_block = (file.size - 1) // PAGE_SIZE
-        window = [block]
-        for ahead in range(1, self.params.mmap_readahead_pages):
-            candidate = block + ahead
-            if candidate > last_block:
-                break
-            if self.is_cached(file, candidate):
-                break
-            if not file.has_block(candidate):
-                break
-            window.append(candidate)
-        return window
 
     # -- read(2) path --------------------------------------------------------
 

@@ -118,9 +118,9 @@ class SnapshotStore:
         yield from host.snapshot_device.write(IoRequest(
             lba=vmm_file.to_lba(0), nbytes=vmm_file.size,
             kind=ReadKind.WRITE))
-        resident = sorted(
-            page for page in range(vm.memory.page_count)
-            if vm.memory.is_present(page))
+        # Present pages are always in bounds, so sorting the present set
+        # directly matches scanning the whole region.
+        resident = sorted(vm.memory._present)
         if resident:
             yield from host.snapshot_device.write(IoRequest(
                 lba=memory_file.to_lba(0),

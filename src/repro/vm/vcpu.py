@@ -47,17 +47,24 @@ class VCpu:
             return
         per_access = compute_us / len(pages)
         accumulated = 0.0
+        # Hot loop: hoist the present-set and the timeout factory so the
+        # all-resident case costs one set lookup and one float add per
+        # page.  ``accumulated`` stays an incremental sum (not
+        # ``per_access * n``) so timeout values are bit-identical to the
+        # reference loop.
+        present = memory._present
+        timeout = self.env.timeout
         for page in pages:
             accumulated += per_access
-            if memory.is_present(page):
+            if page in present:
                 continue
             if fault_handler is None:
                 raise RuntimeError(
                     f"page {page} missing during warm execution")
             if accumulated > 0.0:
-                yield self.env.timeout(accumulated)
+                yield timeout(accumulated)
                 accumulated = 0.0
             self.faults_taken += 1
             yield from fault_handler(page)
         if accumulated > 0.0:
-            yield self.env.timeout(accumulated)
+            yield timeout(accumulated)
