@@ -10,6 +10,9 @@ Subcommands::
     perf                      measure simulator speed on fixed cells
                               (writes BENCH_perf.json; see
                               docs/performance.md)
+    lint [ARGS...]            run the determinism linter (alias of
+                              ``python -m repro.lint``; see
+                              docs/static-analysis.md)
     clean-cache               drop the on-disk result cache
 
 ``run`` and ``all`` share the execution flags: ``--jobs N`` fans cells
@@ -46,7 +49,7 @@ from repro.bench.cache import ResultCache
 from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve
 from repro.bench.runner import Runner
 
-COMMANDS = ("list", "run", "all", "trace", "perf", "clean-cache")
+COMMANDS = ("list", "run", "all", "trace", "perf", "lint", "clean-cache")
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -139,6 +142,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="RATIO", dest="fail_below",
                       help="exit 3 if any cell's speedup falls below "
                            "RATIO (needs --compare)")
+
+    # "lint" is dispatched in main() before parsing (its flags belong to
+    # repro.lint's own parser); registered here so it shows in --help.
+    commands.add_parser(
+        "lint", help="run the determinism linter (python -m repro.lint)")
 
     clean = commands.add_parser("clean-cache",
                                 help="delete cached cell results")
@@ -306,6 +314,11 @@ def _cmd_run(args: argparse.Namespace, names: list[str]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # Forward everything verbatim: the linter owns its own flags
+        # (argparse REMAINDER cannot capture a leading --flag).
+        from repro.lint.cli import main as lint_main
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(_normalize(argv))
     try:
         if args.command == "list":

@@ -52,6 +52,26 @@ class Cell:
         return f"{self.experiment}/{self.label}"
 
 
+def run_cell_checked(experiment: "Experiment", cell: Cell) -> dict[str, Any]:
+    """Run one cell, under the sim sanitizer when it is enabled.
+
+    With ``REPRO_SANITIZE=1`` the sanitizer registry is reset before
+    the cell and the end-of-run leak check (held grants, pinned tier
+    entries, unserved faults) runs after it -- the reset makes each
+    cell's accounting independent, matching the cells-share-no-state
+    contract.  All three execution paths (serial :meth:`Experiment.run`,
+    the parallel runner, the perf harness) funnel through here.
+    """
+    from repro.sim import sanitizer
+
+    if not sanitizer.enabled():
+        return experiment.run_cell(cell)
+    sanitizer.reset()
+    payload = experiment.run_cell(cell)
+    sanitizer.assert_no_leaks(context=cell.describe())
+    return payload
+
+
 class Experiment:
     """Base class for one table/figure reproduction.
 
@@ -88,7 +108,8 @@ class Experiment:
         from repro.bench.cache import canonicalize
 
         cells = self.cells(**kwargs)
-        payloads = [canonicalize(self.run_cell(cell)) for cell in cells]
+        payloads = [canonicalize(run_cell_checked(self, cell))
+                    for cell in cells]
         return self.assemble(payloads, **kwargs)
 
     #: Experiments stay callable so the registry keeps its historical

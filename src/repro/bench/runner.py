@@ -34,7 +34,7 @@ from typing import Any, Sequence
 
 from repro.bench.cache import ResultCache, canonicalize
 from repro.bench.experiments import EXPERIMENTS, resolve
-from repro.bench.experiments.spec import Cell
+from repro.bench.experiments.spec import Cell, run_cell_checked
 from repro.bench.harness import ExperimentResult
 
 
@@ -78,7 +78,7 @@ class RunOutcome:
 
 def execute_cell(cell: Cell) -> tuple[Any, int]:
     """Run one cell; module-level so worker processes can unpickle it."""
-    payload = EXPERIMENTS[cell.experiment].run_cell(cell)
+    payload = run_cell_checked(EXPERIMENTS[cell.experiment], cell)
     return canonicalize(payload), os.getpid()
 
 
@@ -128,12 +128,14 @@ class Runner:
         Unknown names raise :class:`KeyError` before any work starts.
         """
         ids = [resolve(name) for name in names]
-        started = time.perf_counter()
+        # Wall-clock policy: harness-only timing (operator feedback in
+        # RunStats), never part of a cell payload or digest.
+        started = time.perf_counter()  # lint: allow[REPRO-D001]
         if self.shard == "experiments":
             outcome = self._run_experiment_sharded(ids, kwargs)
         else:
             outcome = self._run_cell_sharded(ids, kwargs)
-        outcome.stats.elapsed_s = time.perf_counter() - started
+        outcome.stats.elapsed_s = time.perf_counter() - started  # lint: allow[REPRO-D001]
         return outcome
 
     # -- cell granularity --------------------------------------------------

@@ -1,0 +1,35 @@
+"""Determinism linter: static enforcement of simulator invariants.
+
+``python -m repro.lint`` walks ``src/`` and ``tests/`` and enforces the
+invariants the byte-identity suite only samples -- no ambient
+randomness or wall-clock reads (REPRO-D001), no ``id()``-keyed state
+(REPRO-D002), no unordered set iteration (REPRO-D003), no float
+equality on simulated times (REPRO-D004), exception-safe
+acquire/release pairing (REPRO-R001), and generic hygiene (REPRO-H001,
+REPRO-H002).  See :mod:`repro.lint.rules` for the catalog with
+rationale, :mod:`repro.lint.checker` for the AST pass, and
+``docs/static-analysis.md`` for the allowlist policy.
+
+The runtime complement is :mod:`repro.sim.sanitizer`, which samples the
+same invariants dynamically under ``REPRO_SANITIZE=1``.
+"""
+
+from repro.lint.checker import (
+    FileReport,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import RULES, Rule, known_rule_ids
+
+__all__ = [
+    "FileReport",
+    "RULES",
+    "Rule",
+    "Violation",
+    "known_rule_ids",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

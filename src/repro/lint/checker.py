@@ -1,0 +1,620 @@
+"""AST checks behind ``python -m repro.lint``.
+
+One :func:`lint_source` pass parses a module once and runs every rule
+over the tree; :func:`lint_file` and :func:`lint_paths` wrap it for the
+CLI.  The checks are deliberately *syntactic with shallow local
+inference*: they prove the easy 95 % of each invariant at zero runtime
+cost and leave the rest to the runtime sanitizer
+(:mod:`repro.sim.sanitizer`), which samples the same invariants
+dynamically.  False positives are handled by annotation, never by
+weakening a rule silently:
+
+* ``# lint: allow[REPRO-D001]`` on the offending line (or the line
+  directly above it) suppresses the named rule(s) at that site;
+* ``# lint: allow-file[REPRO-D001]`` anywhere in a file suppresses the
+  named rule(s) for the whole module (used by ``repro.sim.rng``, the
+  one sanctioned randomness wrapper).
+
+Every annotation in the tree must be justified in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.lint.rules import RULES
+
+#: ``# lint: allow[ID, ID]`` -- line-scoped suppression.
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\[([A-Za-z0-9_,\-\s]+)\]")
+#: ``# lint: allow-file[ID, ID]`` -- module-scoped suppression.
+_ALLOW_FILE_RE = re.compile(r"#\s*lint:\s*allow-file\[([A-Za-z0-9_,\-\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (clickable in editors/CI)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON form (schema documented in docs/static-analysis.md)."""
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "name": RULES[self.rule].name,
+                "message": self.message}
+
+
+# -- rule configuration ------------------------------------------------------
+
+#: time-module attributes that read the wall clock.
+_WALLCLOCK_TIME_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+#: datetime/date class methods that read the wall clock.
+_WALLCLOCK_DT_ATTRS = frozenset({"now", "utcnow", "today"})
+#: receivers that make a ``.now()``-style call a datetime read (a bare
+#: ``env.now`` attribute access is simulated time and never flagged).
+_DT_RECEIVERS = frozenset({"datetime", "date", "dt"})
+#: nondeterministic names importable from ``random`` (``Random`` itself
+#: is fine: an explicitly seeded instance is deterministic).
+_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "expovariate", "gauss", "normalvariate",
+    "betavariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes", "seed",
+})
+#: directory-listing calls whose order is filesystem-dependent.
+_LISTING_CALLS = frozenset({"listdir", "scandir", "walk", "glob", "iglob",
+                            "iterdir"})
+#: builtins through which set iteration order becomes observable.
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "sum", "map",
+                                "filter", "iter", "next", "zip"})
+#: order-insensitive consumers (never flagged).
+_UNORDERED_CONSUMERS = frozenset({"sorted", "len", "min", "max", "any",
+                                  "all", "bool", "set", "frozenset"})
+#: exact names treated as simulated-time values by REPRO-D004.
+_TIME_NAMES = frozenset({
+    "now", "_now", "when", "deadline", "delay", "elapsed", "last_access",
+    "raised_at", "started_at", "finished_at", "first_io_at", "last_io_at",
+})
+#: name suffixes treated as simulated-time values by REPRO-D004.
+_TIME_SUFFIX_RE = re.compile(r".+_(us|ms|s|sec|secs|seconds)$")
+
+#: acquire method -> accepted release method names (REPRO-R001).
+_ACQUIRE_PAIRS: dict[str, frozenset[str]] = {
+    "request": frozenset({"release"}),
+    "ensure_local": frozenset({"unpin"}),
+    "ensure_for_restore": frozenset({"unpin"}),
+    "promote_for_restore": frozenset({"unpin"}),
+}
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray",
+                            "defaultdict", "OrderedDict", "Counter",
+                            "deque"})
+
+
+def _attr_chain(node: ast.AST) -> Optional[str]:
+    """Dotted name of a Name/Attribute chain (``a.b.c``), else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    value = node.value if isinstance(node, ast.Constant) else None
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_approx_call(node: ast.AST) -> bool:
+    """``pytest.approx(...)`` -- the sanctioned float comparison."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = _attr_chain(node.func)
+    return chain is not None and chain.split(".")[-1] == "approx"
+
+
+def _is_timeish(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return name in _TIME_NAMES or bool(_TIME_SUFFIX_RE.match(name))
+
+
+class _SetTracker:
+    """Shallow per-scope inference of which local names hold sets."""
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+
+    def assign(self, target: ast.AST, value: ast.AST,
+               is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            if is_set:
+                self.names.add(target.id)
+            else:
+                self.names.discard(target.id)
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor running every enabled rule."""
+
+    def __init__(self, path: str, source_lines: list[str],
+                 select: frozenset[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.select = select
+        self.violations: list[Violation] = []
+        self.suppressed = 0
+        self._file_allowed = self._scan_file_pragmas()
+        #: stack of per-function set trackers (module level included).
+        self._set_scopes: list[_SetTracker] = [_SetTracker()]
+        #: parent links for context-sensitive checks.
+        self._parents: dict[ast.AST, ast.AST] = {}
+
+    # -- annotation handling ---------------------------------------------
+
+    def _scan_file_pragmas(self) -> frozenset[str]:
+        allowed: set[str] = set()
+        for line in self.lines:
+            match = _ALLOW_FILE_RE.search(line)
+            if match:
+                allowed.update(part.strip()
+                               for part in match.group(1).split(","))
+        return frozenset(allowed)
+
+    def _line_allows(self, line: int, rule: str) -> bool:
+        for candidate in (line, line - 1):
+            if 1 <= candidate <= len(self.lines):
+                match = _ALLOW_RE.search(self.lines[candidate - 1])
+                if match and rule in {part.strip()
+                                      for part in
+                                      match.group(1).split(",")}:
+                    return True
+        return False
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule not in self.select:
+            return
+        line = getattr(node, "lineno", 1)
+        if rule in self._file_allowed or self._line_allows(line, rule):
+            self.suppressed += 1
+            return
+        self.violations.append(Violation(
+            path=self.path, line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule, message=message))
+
+    # -- traversal plumbing ----------------------------------------------
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._parents[child] = node
+        super().generic_visit(node)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    # -- imports (REPRO-D001) --------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            bad = [alias.name for alias in node.names
+                   if alias.name in _RANDOM_FUNCS]
+            if bad:
+                self.report(node, "REPRO-D001",
+                            f"importing {', '.join(bad)} from random: "
+                            f"draw from repro.sim.rng.RandomStream instead")
+        elif node.module == "time":
+            bad = [alias.name for alias in node.names
+                   if alias.name in _WALLCLOCK_TIME_ATTRS]
+            if bad:
+                self.report(node, "REPRO-D001",
+                            f"importing wall-clock {', '.join(bad)} from "
+                            f"time: simulated code must use env.now")
+        elif node.module == "secrets":
+            self.report(node, "REPRO-D001",
+                        "secrets is nondeterministic by design; derive "
+                        "bytes from repro.sim.rng")
+        self.generic_visit(node)
+
+    # -- calls (REPRO-D001, D002, D003 contexts) -------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_nondeterminism_call(node)
+        self._check_identity_key(node)
+        self._check_set_consumer(node)
+        self.generic_visit(node)
+
+    def _check_nondeterminism_call(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        parts = chain.split(".")
+        head, tail = parts[0], parts[-1]
+        if head == "random" and len(parts) == 2:
+            if tail == "Random":
+                if not node.args and not node.keywords:
+                    self.report(node, "REPRO-D001",
+                                "unseeded random.Random(): pass an "
+                                "explicit seed")
+            elif tail in _RANDOM_FUNCS:
+                self.report(node, "REPRO-D001",
+                            f"random.{tail}() draws from the ambient "
+                            f"global stream; use repro.sim.rng")
+            return
+        if head == "time" and len(parts) == 2 \
+                and tail in _WALLCLOCK_TIME_ATTRS:
+            self.report(node, "REPRO-D001",
+                        f"wall-clock time.{tail}(): simulated code must "
+                        f"use env.now")
+            return
+        if tail in _WALLCLOCK_DT_ATTRS and len(parts) >= 2 \
+                and parts[-2] in _DT_RECEIVERS:
+            self.report(node, "REPRO-D001",
+                        f"wall-clock {parts[-2]}.{tail}()")
+            return
+        if chain in ("os.urandom", "os.getrandom"):
+            self.report(node, "REPRO-D001",
+                        f"{chain}() is hardware randomness; derive bytes "
+                        f"from repro.sim.rng")
+            return
+        if head in ("uuid",) and tail in ("uuid1", "uuid4") \
+                or chain in ("uuid1", "uuid4"):
+            self.report(node, "REPRO-D001",
+                        f"{tail}() is nondeterministic; derive ids from "
+                        f"the experiment seed")
+            return
+        if head == "secrets":
+            self.report(node, "REPRO-D001", f"{chain}() is nondeterministic")
+            return
+        if tail in _LISTING_CALLS and head in ("os", "glob") \
+                or chain in ("os.walk",):
+            if not self._wrapped_in_sorted(node):
+                self.report(node, "REPRO-D001",
+                            f"{chain}() order is filesystem-dependent; "
+                            f"wrap in sorted()")
+
+    def _wrapped_in_sorted(self, node: ast.AST) -> bool:
+        parent = self.parent(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted")
+
+    def _check_identity_key(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "id" \
+                and len(node.args) == 1:
+            self.report(node, "REPRO-D002",
+                        "id()-derived value: object addresses are "
+                        "unstable across runs/processes; use a monotonic "
+                        "per-object id (e.g. SimFile.file_id)")
+
+    # -- set-expression classification (REPRO-D003) ----------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_scopes[-1].names
+        if isinstance(node, ast.Attribute) and node.attr.endswith("_set"):
+            # Codebase convention: *_set attributes (page_set, working
+            # sets as page-number sets) hold set values.
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self._is_set_expr(node.left) \
+                or self._is_set_expr(node.right)
+        return False
+
+    def _flag_set_iteration(self, node: ast.AST, context: str) -> None:
+        self.report(node, "REPRO-D003",
+                    f"iteration over a set in {context}: order is "
+                    f"insertion/hash-dependent; use sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            self._flag_set_iteration(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for generator in node.generators:
+            if self._is_set_expr(generator.iter):
+                self._flag_set_iteration(generator.iter, "a comprehension")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        parent = self.parent(node)
+        if not (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _UNORDERED_CONSUMERS):
+            self._check_comprehension(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set is order-insensitive.
+        self.generic_visit(node)
+
+    def _check_set_consumer(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDERED_CONSUMERS:
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self._flag_set_iteration(
+                        arg, f"{func.id}(...)")
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            for arg in node.args:
+                if self._is_set_expr(arg):
+                    self._flag_set_iteration(arg, "str.join(...)")
+
+    # -- assignments: set tracking --------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            self._set_scopes[-1].assign(target, node.value, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._set_scopes[-1].assign(node.target, node.value,
+                                        self._is_set_expr(node.value))
+        self.generic_visit(node)
+
+    # -- comparisons (REPRO-D004) ----------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # Literal operands are golden assertions/sentinels (the
+            # value was assigned, never accumulated); pytest.approx is
+            # the sanctioned epsilon comparison.  The hazard is
+            # computed-time == computed-time.
+            if _is_numeric_literal(left) or _is_numeric_literal(right):
+                continue
+            if _is_approx_call(left) or _is_approx_call(right):
+                continue
+            if _is_timeish(left) or _is_timeish(right):
+                self.report(node, "REPRO-D004",
+                            "float ==/!= on a simulated-time value: "
+                            "timestamps are accumulated floats; compare "
+                            "with ordering or an epsilon")
+        self.generic_visit(node)
+
+    # -- functions: scopes, hygiene, acquire/release ---------------------
+
+    def _visit_function(self, node) -> None:
+        self._check_mutable_defaults(node)
+        self._set_scopes.append(_SetTracker())
+        self.generic_visit(node)
+        self._set_scopes.pop()
+        self._check_acquire_release(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._set_scopes.append(_SetTracker())
+        self.generic_visit(node)
+        self._set_scopes.pop()
+
+    def _check_mutable_defaults(self, node) -> None:
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if not mutable and isinstance(default, ast.Call) \
+                    and isinstance(default.func, ast.Name) \
+                    and default.func.id in _MUTABLE_CTORS:
+                mutable = True
+            if mutable:
+                self.report(default, "REPRO-H001",
+                            "mutable default argument is shared across "
+                            "calls; default to None and allocate inside")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "REPRO-H002",
+                        "bare except swallows Interrupt/SimulationError; "
+                        "name the exception(s) this handler handles")
+        self.generic_visit(node)
+
+    # -- REPRO-R001 -------------------------------------------------------
+
+    def _check_acquire_release(self, func) -> None:
+        body_nodes = [node for node in ast.walk(func)
+                      if self._owning_function(node) is func]
+        acquires: list[tuple[str, str, ast.stmt]] = []
+        for node in body_nodes:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1 \
+                    or not isinstance(node.targets[0], ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, (ast.YieldFrom, ast.Await)):
+                value = value.value
+            if isinstance(value, ast.Call) \
+                    and isinstance(value.func, ast.Attribute) \
+                    and value.func.attr in _ACQUIRE_PAIRS:
+                acquires.append((node.targets[0].id, value.func.attr, node))
+        if not acquires:
+            return
+
+        yields = [node for node in body_nodes
+                  if isinstance(node, (ast.Yield, ast.YieldFrom))]
+        returns = [node for node in body_nodes
+                   if isinstance(node, ast.Return) and node.value is not None]
+        tries = [node for node in body_nodes if isinstance(node, ast.Try)]
+
+        for var, acquire_name, acquire_node in acquires:
+            release_names = _ACQUIRE_PAIRS[acquire_name]
+            if any(self._name_in(ret.value, var) for ret in returns):
+                continue  # ownership handed to the caller
+            releases = [
+                node for node in body_nodes
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in release_names
+                and any(self._name_in(arg, var) for arg in node.args)]
+            if not releases:
+                self.report(acquire_node, "REPRO-R001",
+                            f"{acquire_name}() result {var!r} is never "
+                            f"released (expected "
+                            f"{'/'.join(sorted(release_names))})")
+                continue
+            protected = False
+            for try_node in tries:
+                in_finally = any(
+                    any(release is node or release in ast.walk(node)
+                        for node in try_node.finalbody)
+                    for release in releases)
+                if not in_finally:
+                    continue
+                protected = True
+                # Every suspension point between the acquire and the
+                # protecting try must be inside the try body: an
+                # Interrupt delivered there would skip the finally.
+                gap_yields = [
+                    y for y in yields
+                    if acquire_node.lineno < y.lineno
+                    < try_node.body[0].lineno]
+                if gap_yields:
+                    self.report(
+                        gap_yields[0], "REPRO-R001",
+                        f"yield between {acquire_name}() and the "
+                        f"try/finally releasing {var!r}: an exception "
+                        f"here leaks the acquisition -- move the yield "
+                        f"inside the try")
+                break
+            if not protected:
+                span_yields = [y for y in yields
+                               if y.lineno > acquire_node.lineno]
+                if span_yields:
+                    self.report(
+                        acquire_node, "REPRO-R001",
+                        f"release of {var!r} is not in a finally block "
+                        f"but the function suspends after acquiring; an "
+                        f"exception at any yield leaks it")
+
+    def _owning_function(self, node: ast.AST):
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.Lambda)):
+                return current
+            current = self.parent(current)
+        return None
+
+    @staticmethod
+    def _name_in(node: Optional[ast.AST], var: str) -> bool:
+        if node is None:
+            return False
+        return any(isinstance(child, ast.Name) and child.id == var
+                   for child in ast.walk(node))
+
+
+# -- entry points ------------------------------------------------------------
+
+@dataclass
+class FileReport:
+    """Lint outcome of one file."""
+
+    path: str
+    violations: list[Violation]
+    suppressed: int
+    error: Optional[str] = None
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Iterable[str] | None = None) -> FileReport:
+    """Lint python ``source``; ``select`` limits the enforced rules."""
+    selected = frozenset(select) if select is not None \
+        else frozenset(RULES)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return FileReport(path=path, violations=[], suppressed=0,
+                          error=f"syntax error: {error}")
+    checker = _Checker(path, source.splitlines(), selected)
+    checker.visit(tree)
+    checker.violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return FileReport(path=path, violations=checker.violations,
+                      suppressed=checker.suppressed)
+
+
+def lint_file(path: str | Path,
+              select: Iterable[str] | None = None) -> FileReport:
+    """Lint one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return FileReport(path=str(path), violations=[], suppressed=0,
+                          error=str(error))
+    return lint_source(source, path=str(path), select=select)
+
+
+#: path fragments never linted by the default walk (seeded-violation
+#: fixtures; the linter's own tests lint them explicitly).
+EXCLUDED_PARTS = ("lint_fixtures",)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    The :data:`EXCLUDED_PARTS` filter applies only to directory
+    expansion -- a file named explicitly is always linted, so
+    ``python -m repro.lint tests/lint_fixtures/d001.py`` still works.
+    """
+    found: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            found.extend(
+                path for path in sorted(entry.rglob("*.py"))
+                if not any(part in EXCLUDED_PARTS for part in path.parts))
+        elif entry.suffix == ".py":
+            found.append(entry)
+    return found
+
+
+def lint_paths(paths: Iterable[str | Path],
+               select: Iterable[str] | None = None) -> list[FileReport]:
+    """Lint every python file under ``paths`` (excluding fixtures)."""
+    return [lint_file(path, select=select)
+            for path in iter_python_files(paths)]

@@ -1,0 +1,157 @@
+"""CLI for the determinism linter: ``python -m repro.lint``.
+
+Usage::
+
+    python -m repro.lint [PATH ...] [--format text|json]
+                         [--select IDS] [--ignore IDS] [--list-rules]
+
+With no paths, lints ``src`` and ``tests`` relative to the current
+directory (the repo-root invocation CI uses).  Exit codes: 0 clean,
+1 violations found, 2 usage/IO error -- the same gating contract as the
+test suite, so CI can run it as a plain job step.
+
+JSON output schema (``--format json``, version 1)::
+
+    {
+      "version": 1,
+      "files_checked": 137,
+      "violations": [
+        {"path": "src/...", "line": 10, "col": 5,
+         "rule": "REPRO-D001", "name": "nondeterminism-source",
+         "message": "..."},
+        ...
+      ],
+      "counts": {"REPRO-D001": 1, ...},   # only non-zero rules
+      "suppressed": 4                      # allow-annotation hits
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable
+
+from repro.lint.checker import FileReport, lint_paths
+from repro.lint.rules import RULES, known_rule_ids
+
+JSON_SCHEMA_VERSION = 1
+
+#: Default lint roots, relative to the invocation directory.
+DEFAULT_PATHS = ("src", "tests")
+
+
+def _parse_ids(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    unknown = ids - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(known_rule_ids())}")
+    return ids
+
+
+def selected_rules(select: str | None, ignore: str | None) -> frozenset[str]:
+    """Resolve ``--select``/``--ignore`` into the enforced rule set."""
+    chosen = _parse_ids(select)
+    dropped = _parse_ids(ignore) or frozenset()
+    base = chosen if chosen is not None else frozenset(RULES)
+    return base - dropped
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically enforce the simulator's determinism and "
+                    "resource-pairing invariants.")
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help=f"files or directories to lint (default: "
+                             f"{' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="output encoding (default: text)")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to enforce "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None, metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def render_text(reports: list[FileReport]) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = []
+    total = 0
+    suppressed = 0
+    for report in reports:
+        if report.error is not None:
+            lines.append(f"{report.path}: {report.error}")
+            continue
+        suppressed += report.suppressed
+        for violation in report.violations:
+            total += 1
+            lines.append(violation.render())
+    noun = "violation" if total == 1 else "violations"
+    lines.append(f"{len(reports)} file(s) checked, {total} {noun}, "
+                 f"{suppressed} suppressed by allow annotations")
+    return "\n".join(lines)
+
+
+def render_json(reports: list[FileReport]) -> str:
+    """Machine-readable report (schema above)."""
+    violations = []
+    counts: dict[str, int] = {}
+    suppressed = 0
+    errors = []
+    for report in reports:
+        if report.error is not None:
+            errors.append({"path": report.path, "error": report.error})
+            continue
+        suppressed += report.suppressed
+        for violation in report.violations:
+            violations.append(violation.as_dict())
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": len(reports),
+        "violations": violations,
+        "counts": dict(sorted(counts.items())),
+        "suppressed": suppressed,
+    }
+    if errors:
+        payload["errors"] = errors
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULES)
+        for rule in RULES.values():
+            print(f"{rule.id.ljust(width)}  {rule.name}: {rule.summary}")
+        return 0
+    try:
+        select = selected_rules(args.select, args.ignore)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    paths = args.paths or [path for path in DEFAULT_PATHS]
+    reports = lint_paths(paths, select=select)
+    if not reports:
+        print(f"error: no python files under: {', '.join(map(str, paths))}",
+              file=sys.stderr)
+        return 2
+    output = render_json(reports) if args.fmt == "json" \
+        else render_text(reports)
+    print(output)
+    has_errors = any(report.error is not None for report in reports)
+    has_violations = any(report.violations for report in reports)
+    if has_errors:
+        return 2
+    return 1 if has_violations else 0

@@ -1,0 +1,148 @@
+"""The rule catalog of the determinism linter.
+
+Every rule is a named, allowlistable invariant of the simulator.  The
+byte-identity suite (serial == parallel == cached, fastpath == slowpath)
+*samples* these invariants on a handful of workloads; the linter
+enforces them *statically* over every function in ``src/`` and
+``tests/`` so that a stray wall-clock read or unordered-set walk cannot
+silently break reproducibility on a path the suite never exercises.
+
+Rule identifiers are stable API: they appear in ``--select/--ignore``,
+in ``# lint: allow[...]`` annotations, and in the JSON output schema.
+The rationale strings here are the single source of the rule table in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant the checker enforces."""
+
+    id: str
+    name: str
+    #: One-line statement of what the rule forbids.
+    summary: str
+    #: Why violating it breaks the reproduction (docs rule table).
+    rationale: str
+
+
+RULES: dict[str, Rule] = {
+    rule.id: rule for rule in (
+        Rule(
+            id="REPRO-D001",
+            name="nondeterminism-source",
+            summary=(
+                "No ambient nondeterminism: global `random`, wall-clock "
+                "reads (time.time/monotonic/perf_counter, datetime.now), "
+                "os.urandom, uuid1/uuid4, secrets, or unsorted directory "
+                "listings outside repro.sim.rng."),
+            rationale=(
+                "Every stochastic draw must flow through a named "
+                "RandomStream derived from the experiment seed, and every "
+                "timestamp must be simulated time (env.now).  One ambient "
+                "draw or wall-clock read on a simulation path makes "
+                "serial/parallel/cached runs diverge.  Explicitly seeded "
+                "`random.Random(seed)` instances are allowed (they are "
+                "deterministic); wall-clock reads that only measure the "
+                "simulator itself carry an allow annotation."),
+        ),
+        Rule(
+            id="REPRO-D002",
+            name="identity-keyed-state",
+            summary=(
+                "No `id(obj)` used as state: CPython object addresses are "
+                "not stable across runs or process boundaries and are "
+                "reused after collection."),
+            rationale=(
+                "An `id()`-keyed radix/readahead/allocator map works only "
+                "while the keyed object is alive and the map never leaves "
+                "the process.  Sharding one simulation across processes "
+                "(the roadmap item this PR backstops) serializes such "
+                "state; monotonic per-object ids (SimFile.file_id) are "
+                "stable, collision-free, and picklable."),
+        ),
+        Rule(
+            id="REPRO-D003",
+            name="unordered-iteration",
+            summary=(
+                "No iteration over set/frozenset values without sorted(): "
+                "for-loops, comprehensions, list/tuple/enumerate/sum/"
+                "join/map/filter/min-max-with-key over a set expression."),
+            rationale=(
+                "Set iteration order depends on insertion history and hash "
+                "seeding of the element types.  Any consumer whose output "
+                "order, float accumulation order, or RNG draw order "
+                "depends on it produces different bytes run to run.  "
+                "Order-insensitive reductions (len, min, max, any, all, "
+                "membership) are allowed."),
+        ),
+        Rule(
+            id="REPRO-D004",
+            name="float-time-equality",
+            summary=(
+                "No float == / != between two *computed* simulated-time "
+                "values (now, *_us, *_ms, *_s, deadlines, delays); "
+                "comparisons against numeric literals or pytest.approx "
+                "are allowed."),
+            rationale=(
+                "Simulated timestamps are sums of float microsecond costs; "
+                "two causally distinct paths to 'the same' time differ in "
+                "the last ulp depending on summation order.  Equality "
+                "tests on them flip on harmless refactors and break the "
+                "fastpath/slowpath equivalence argument.  Comparing "
+                "against a numeric literal is allowed -- that is a golden "
+                "assertion or a sentinel check against a value that was "
+                "assigned, never accumulated -- as is pytest.approx, the "
+                "sanctioned epsilon comparison."),
+        ),
+        Rule(
+            id="REPRO-R001",
+            name="acquire-release-pairing",
+            summary=(
+                "Every stored acquire (Resource.request, "
+                "TierCache.ensure_local, ensure_for_restore) needs a "
+                "matching release/unpin, reached through a try/finally "
+                "that also covers the yields between acquire and "
+                "release."),
+            rationale=(
+                "A leaked resource grant deadlocks every later contender; "
+                "a leaked pin makes a tier entry unevictable forever.  In "
+                "generator processes an Interrupt or model exception can "
+                "arrive at *any* yield, so a release that is not in a "
+                "finally -- or a finally whose try does not cover the "
+                "suspension points -- is unreachable exactly when it "
+                "matters.  The runtime sanitizer samples this invariant "
+                "at end of run; the rule proves it per call site."),
+        ),
+        Rule(
+            id="REPRO-H001",
+            name="mutable-default-arg",
+            summary="No mutable default arguments (list/dict/set displays "
+                    "or constructor calls).",
+            rationale=(
+                "A mutable default is one shared object across all calls: "
+                "state leaks between invocations and between cells that "
+                "should be independent, the exact aliasing bug the "
+                "cells-are-pure-functions contract forbids."),
+        ),
+        Rule(
+            id="REPRO-H002",
+            name="bare-except",
+            summary="No bare `except:` handlers.",
+            rationale=(
+                "A bare except swallows Interrupt and SimulationError, "
+                "turning structural engine misuse and teardown signals "
+                "into silent model divergence.  Catch the narrowest "
+                "exception that the handler actually handles."),
+        ),
+    )
+}
+
+
+def known_rule_ids() -> list[str]:
+    """All rule ids, in catalog order."""
+    return list(RULES)

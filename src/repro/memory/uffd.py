@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.memory.guest import GuestMemory
+from repro.sim import sanitizer
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Store
 
@@ -52,6 +53,7 @@ class UserFaultFd:
     """A registered userfaultfd for one guest-memory region."""
 
     def __init__(self, env: Environment, memory: GuestMemory) -> None:
+        sanitizer.track_uffd(self)
         self.env = env
         self.memory = memory
         self._events: Store = Store(env)

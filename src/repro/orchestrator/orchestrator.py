@@ -304,41 +304,51 @@ class Orchestrator:
                                              content=self.content)
         policy.attach(vm)
         try:
-            yield from policy.prepare(vm)
-        except ArtifactFormatError:
-            # Corrupted trace/WS file: the demand monitor can still serve
-            # every page, so the invocation proceeds (slower); the stale
-            # artifacts are discarded so the next cold start re-records.
-            breakdown.extra["artifact_error"] = 1.0
-            self.reap.state_for(entry.profile.name).artifacts = None
-            if self.snapstore is not None:
-                self.snapstore.release_reap_artifacts(entry.profile.name)
-        vm.transition(VmState.RUNNING)
-        handler = policy.fault_handler(vm)
+            try:
+                yield from policy.prepare(vm)
+            except ArtifactFormatError:
+                # Corrupted trace/WS file: the demand monitor can still
+                # serve every page, so the invocation proceeds (slower);
+                # the stale artifacts are discarded so the next cold
+                # start re-records.
+                breakdown.extra["artifact_error"] = 1.0
+                self.reap.state_for(entry.profile.name).artifacts = None
+                if self.snapstore is not None:
+                    self.snapstore.release_reap_artifacts(
+                        entry.profile.name)
+            vm.transition(VmState.RUNNING)
+            handler = policy.fault_handler(vm)
 
-        # 3. Connection restoration (handshake + guest infra pages).
-        phase_start = self.env.now
-        yield self.env.timeout(self.host.params.grpc_handshake_ms * MS)
-        yield from vm.vcpu.execute_phase(
-            vm.memory, trace.connection_pages, trace.connection_compute_us,
-            handler)
-        vm.connected = True
-        breakdown.connection_us = self.env.now - phase_start
+            # 3. Connection restoration (handshake + guest infra pages).
+            phase_start = self.env.now
+            yield self.env.timeout(self.host.params.grpc_handshake_ms * MS)
+            yield from vm.vcpu.execute_phase(
+                vm.memory, trace.connection_pages,
+                trace.connection_compute_us, handler)
+            vm.connected = True
+            breakdown.connection_us = self.env.now - phase_start
 
-        # 4. Function processing (S3 input + handler execution).
-        phase_start = self.env.now
-        s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
-        if s3_us > 0:
-            yield self.env.timeout(s3_us)
-        compute_us = max(trace.processing_compute_us - s3_us, 0.0)
-        yield from vm.vcpu.execute_phase(vm.memory, trace.processing_pages,
-                                         compute_us, handler)
-        breakdown.processing_us = self.env.now - phase_start
+            # 4. Function processing (S3 input + handler execution).
+            phase_start = self.env.now
+            s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
+            if s3_us > 0:
+                yield self.env.timeout(s3_us)
+            compute_us = max(trace.processing_compute_us - s3_us, 0.0)
+            yield from vm.vcpu.execute_phase(
+                vm.memory, trace.processing_pages, compute_us, handler)
+            breakdown.processing_us = self.env.now - phase_start
 
-        # 5. Finalize (record artifacts; misprediction accounting).
-        phase_start = self.env.now
-        yield from policy.finish(vm)
-        breakdown.finalize_us = self.env.now - phase_start
+            # 5. Finalize (record artifacts; misprediction accounting).
+            phase_start = self.env.now
+            yield from policy.finish(vm)
+            breakdown.finalize_us = self.env.now - phase_start
+        except BaseException:
+            # An Interrupt or model error at any yield above would leak
+            # the instance: its monitor process keeps polling the uffd
+            # queue and the uffd keeps its registration (the sanitizer's
+            # end-of-run leak check).  Tear it down before propagating.
+            self._teardown_instance(WarmInstance(vm=vm, policy=policy))
+            raise
         if policy.artifacts is not None:
             untouched = policy.artifacts.page_set - trace.page_set
             breakdown.unused_prefetched = len(untouched)
@@ -360,8 +370,8 @@ class Orchestrator:
         params = self.host.params
         phase_start = self.env.now
         grant = self.host.containerd_lock.request()
-        yield grant
         try:
+            yield grant
             yield self.env.timeout(params.containerd_serial_ms * MS)
         finally:
             self.host.containerd_lock.release(grant)

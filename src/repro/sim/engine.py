@@ -54,6 +54,8 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.sim import sanitizer
+
 #: Process-wide count of events processed by every Environment, for the
 #: ``bench perf`` suite (simulated-events/sec).  Monotonic; never reset.
 _events_processed_total = 0
@@ -157,8 +159,7 @@ class Event:
         if env._fastpath:
             env._immediate.append(self)
         else:
-            heappush(env._heap, (env._now, env._sequence, self))
-            env._sequence += 1
+            heappush(env._heap, (env._now, env._next_seq(), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -173,8 +174,7 @@ class Event:
         if env._fastpath:
             env._immediate.append(self)
         else:
-            heappush(env._heap, (env._now, env._sequence, self))
-            env._sequence += 1
+            heappush(env._heap, (env._now, env._next_seq(), self))
         return self
 
     def _add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -213,8 +213,7 @@ class Timeout(Event):
         if delay == 0.0 and env._fastpath:
             env._immediate.append(self)
         else:
-            heappush(env._heap, (env._now + delay, env._sequence, self))
-            env._sequence += 1
+            heappush(env._heap, (env._now + delay, env._next_seq(), self))
 
 
 class AllOf(Event):
@@ -330,8 +329,7 @@ class Process(Event):
         if env._fastpath:
             env._immediate.append(wake)
         else:
-            heappush(env._heap, (env._now, env._sequence, wake))
-            env._sequence += 1
+            heappush(env._heap, (env._now, env._next_seq(), wake))
 
     def _resume(self, event: Event) -> None:
         if self._triggered:
@@ -388,8 +386,8 @@ class Environment:
     process events in exactly the same order.
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "_immediate", "_fastpath",
-                 "_active_process", "events_processed")
+    __slots__ = ("_now", "_heap", "_sequence", "_seq_mix", "_immediate",
+                 "_fastpath", "_active_process", "events_processed")
 
     def __init__(self, initial_time: float = 0.0,
                  fastpath: Optional[bool] = None) -> None:
@@ -400,12 +398,30 @@ class Environment:
         if fastpath is None:
             fastpath = not os.environ.get("REPRO_ENGINE_SLOWPATH")
         self._fastpath = bool(fastpath)
+        # Sanitizer tie-break perturbation: under a
+        # REPRO_SANITIZE_TIEBREAK seed, heap sequence numbers pass
+        # through a seeded bijection, deterministically shuffling the
+        # pop order of same-timestamp events.  Forces the slowpath so
+        # *every* zero-delay event is subject to the shuffle.
+        tiebreak = sanitizer.tiebreak_seed()
+        if tiebreak is None:
+            self._seq_mix: Optional[Callable[[int], int]] = None
+        else:
+            self._seq_mix = sanitizer.sequence_mixer(tiebreak)
+            self._fastpath = False
         #: The process currently being resumed (None outside a resume);
         #: lets structural errors name their offending process.
         self._active_process: Optional[Process] = None
         #: Events processed by this environment (see also the module
         #: counter :func:`events_processed_total`).
         self.events_processed = 0
+
+    def _next_seq(self) -> int:
+        """Next heap tie-break key (mixed under the sanitizer)."""
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        mix = self._seq_mix
+        return sequence if mix is None else mix(sequence)
 
     @property
     def now(self) -> float:
@@ -437,8 +453,7 @@ class Environment:
         if delay == 0.0 and self._fastpath:
             self._immediate.append(event)
         else:
-            heappush(self._heap, (self._now + delay, self._sequence, event))
-            self._sequence += 1
+            heappush(self._heap, (self._now + delay, self._next_seq(), event))
         return event
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -457,8 +472,7 @@ class Environment:
         if delay == 0.0 and self._fastpath:
             self._immediate.append(event)
         else:
-            heappush(self._heap, (self._now + delay, self._sequence, event))
-            self._sequence += 1
+            heappush(self._heap, (self._now + delay, self._next_seq(), event))
 
     def _schedule_call(self, callback: Callable[[Any], None],
                        event: Any) -> None:
@@ -466,8 +480,7 @@ class Environment:
             self._immediate.append((callback, event))
         else:
             heappush(self._heap,
-                     (self._now, self._sequence, (callback, event)))
-            self._sequence += 1
+                     (self._now, self._next_seq(), (callback, event)))
 
     def _step(self) -> None:
         """Process exactly one queued item (reference implementation)."""

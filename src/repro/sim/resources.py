@@ -18,6 +18,7 @@ from collections import deque
 from heapq import heappush
 from typing import Any, Generator, Optional
 
+from repro.sim import sanitizer
 from repro.sim.engine import Environment, Event, SimulationError
 
 _new_request = object.__new__
@@ -54,6 +55,7 @@ class Resource:
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        sanitizer.track_resource(self)
         self.env = env
         self.capacity = capacity
         self._users: set[Request] = set()
@@ -127,8 +129,11 @@ class Resource:
         Usage: ``yield from resource.acquire(service_time)``.
         """
         request = self.request()
-        yield request
         try:
+            # The wait itself is inside the try: an Interrupt while
+            # queued must cancel the request, or the slot leaks when it
+            # is eventually granted to a dead process (REPRO-R001).
+            yield request
             yield self.env.timeout(hold_time)
         finally:
             self.release(request)
@@ -187,8 +192,10 @@ class PriorityResource(Resource):
                 priority: float = 0.0) -> Generator[Event, Any, None]:
         """Hold one slot for ``hold_time`` at the given priority."""
         request = self.request(priority)
-        yield request
         try:
+            # See Resource.acquire: the wait must be covered by the
+            # finally so an Interrupt while queued cancels the request.
+            yield request
             yield self.env.timeout(hold_time)
         finally:
             self.release(request)

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
+from repro.sim import sanitizer
 from repro.sim.engine import Environment, Event
 from repro.storage.device import IoRequest, ReadKind
 from repro.storage.filesystem import SimFile
@@ -144,6 +145,7 @@ class TierCache:
 
     def __init__(self, env: Environment, remote_device: RemoteDevice,
                  params: TierParameters | None = None) -> None:
+        sanitizer.track_tier_cache(self)
         self.env = env
         self.remote_device = remote_device
         self.params = params or TierParameters()
@@ -200,6 +202,10 @@ class TierCache:
             return entry.size
         return 0
 
+    def entries_for_leak_check(self) -> list[TierEntry]:
+        """All entries, name-ordered (sanitizer end-of-run accounting)."""
+        return [self._entries[name] for name in sorted(self._entries)]
+
     def entries_for(self, function: str) -> list[TierEntry]:
         """All registered artifacts of one function, insertion-ordered."""
         return [entry for entry in self._entries.values()
@@ -227,46 +233,68 @@ class TierCache:
         reads flow through the remote device per access.
         """
         pinned: list[TierEntry] = []
-        for entry in self.entries_for(function):
-            if entry.kind not in kinds:
-                continue
-            if self._entries.get(entry.file.name) is not entry:
-                # Released during an earlier artifact's promotion yield
-                # (superseded generation, re-record): charging it now
-                # would leak budget forever.
-                continue
-            entry.last_access = self.env.now
-            entry.hits += 1
-            entry.pins += 1
-            pinned.append(entry)
-            if entry.local:
-                self.stats.local_hits += 1
-                continue
-            if entry.promote_done is not None:
-                # Another restore is already fetching this artifact;
-                # wait for its transfer instead of issuing a duplicate.
-                self.stats.coalesced += 1
-                yield entry.promote_done
-                continue
-            self.stats.remote_misses += 1
-            if not self._admit(entry):
-                self.stats.bypassed += 1
-                continue
-            entry.promote_done = self.env.event()
-            # One large sequential fetch from the remote service.
-            yield from self.remote_device.read(IoRequest(
-                lba=entry.file.to_lba(0), nbytes=entry.size,
-                kind=ReadKind.BUFFERED))
-            if self._entries.get(entry.file.name) is entry:
-                entry.file.device = entry.home_device
-                entry.local = True
-                self._count_local(entry, +1)
-                self.stats.promotions += 1
-                self.stats.promoted_bytes += entry.size
-            # else: released mid-transfer (superseded generation) -- the
-            # file stays on the remote path and release() uncharged it.
-            done, entry.promote_done = entry.promote_done, None
-            done.succeed()
+        try:
+            for entry in self.entries_for(function):
+                if entry.kind not in kinds:
+                    continue
+                if self._entries.get(entry.file.name) is not entry:
+                    # Released during an earlier artifact's promotion
+                    # yield (superseded generation, re-record): charging
+                    # it now would leak budget forever.
+                    continue
+                entry.last_access = self.env.now
+                entry.hits += 1
+                entry.pins += 1
+                pinned.append(entry)
+                if entry.local:
+                    self.stats.local_hits += 1
+                    continue
+                if entry.promote_done is not None:
+                    # Another restore is already fetching this artifact;
+                    # wait for its transfer instead of a duplicate fetch.
+                    self.stats.coalesced += 1
+                    yield entry.promote_done
+                    continue
+                self.stats.remote_misses += 1
+                if not self._admit(entry):
+                    self.stats.bypassed += 1
+                    continue
+                entry.promote_done = self.env.event()
+                try:
+                    # One large sequential fetch from the remote service.
+                    yield from self.remote_device.read(IoRequest(
+                        lba=entry.file.to_lba(0), nbytes=entry.size,
+                        kind=ReadKind.BUFFERED))
+                except BaseException:
+                    # Failed promotion (Interrupt/model error mid
+                    # transfer): undo the _admit reservation -- the
+                    # artifact never became local -- and wake coalesced
+                    # waiters, whose reads then flow through the remote
+                    # device per access.  Without this the budget bytes
+                    # and the waiters leak forever.
+                    if entry.charged:
+                        entry.charged = False
+                        self.local_bytes_used -= entry.size
+                    done, entry.promote_done = entry.promote_done, None
+                    done.succeed()
+                    raise
+                if self._entries.get(entry.file.name) is entry:
+                    entry.file.device = entry.home_device
+                    entry.local = True
+                    self._count_local(entry, +1)
+                    self.stats.promotions += 1
+                    self.stats.promoted_bytes += entry.size
+                # else: released mid-transfer (superseded generation) --
+                # the file stays on the remote path and release()
+                # uncharged it.
+                done, entry.promote_done = entry.promote_done, None
+                done.succeed()
+        except BaseException:
+            # The caller never receives the pinned list, so it cannot
+            # unpin: drop the pins accrued so far here (REPRO-R001's
+            # runtime counterpart -- the sanitizer leak check).
+            self.unpin(pinned)
+            raise
         return pinned
 
     def unpin(self, entries: list[TierEntry]) -> None:

@@ -19,6 +19,7 @@ working-set files on the raw SSD.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -44,8 +45,16 @@ class Extent:
 class SimFile:
     """A file with sparse block contents and an extent map."""
 
+    #: Source of :attr:`file_id` values, process-wide.  Creation order is
+    #: deterministic (the model allocates files in simulation order), so
+    #: the ids are reproducible run to run -- unlike ``id(file)``, which
+    #: is a reused CPython address and unstable across runs/processes.
+    _next_file_id = itertools.count()
+
     def __init__(self, name: str, size: int, extents: list[Extent],
                  device: BlockDevice) -> None:
+        #: Stable per-file identity for cache/readahead keys (REPRO-D002).
+        self.file_id = next(SimFile._next_file_id)
         self.name = name
         self.size = size
         self.extents = extents
@@ -221,7 +230,10 @@ class Filesystem:
     def __init__(self, default_device: BlockDevice) -> None:
         self.default_device = default_device
         self._files: dict[str, SimFile] = {}
-        self._allocators: dict[int, _Allocator] = {}
+        #: One bump allocator per device, keyed by the device object
+        #: itself (not ``id(device)``: the object key keeps the device
+        #: alive and survives pickling, REPRO-D002).
+        self._allocators: dict[BlockDevice, _Allocator] = {}
 
     def create(self, name: str, size: int,
                device: BlockDevice | None = None,
@@ -237,7 +249,7 @@ class Filesystem:
         if size <= 0:
             raise ValueError(f"file size must be positive, got {size}")
         target = device or self.default_device
-        allocator = self._allocators.setdefault(id(target), _Allocator())
+        allocator = self._allocators.setdefault(target, _Allocator())
         extents: list[Extent] = []
         if fragment_bytes is None:
             extents.append(Extent(0, allocator.take(size), size))

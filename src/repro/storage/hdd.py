@@ -65,8 +65,8 @@ class HddDevice:
     def _serve(self, request: IoRequest,
                bytes_per_us: float) -> Generator[Event, Any, None]:
         grant = self._actuator.request()
-        yield grant
         try:
+            yield grant
             service = request.nbytes / bytes_per_us
             if not self._is_sequential(request.lba):
                 service += (self.params.average_seek_us

@@ -32,7 +32,7 @@ from repro.sim.units import KIB, PAGE_SIZE
 from repro.storage.device import IoRequest, ReadKind
 from repro.storage.filesystem import SimFile
 
-#: Cache key: (file identity, file version, block index).
+#: Cache key: (SimFile.file_id, file version, block index).
 _CacheKey = tuple[int, int, int]
 
 
@@ -74,7 +74,7 @@ class HostPageCache:
     # -- cache bookkeeping -------------------------------------------------
 
     def _key(self, file: SimFile, block: int) -> _CacheKey:
-        return (id(file), file.version, block)
+        return (file.file_id, file.version, block)
 
     def is_cached(self, file: SimFile, block: int) -> bool:
         """Whether a file block is resident."""
@@ -111,7 +111,7 @@ class HostPageCache:
         path for fault handlers: a hit involves no device I/O, so callers
         can yield a single timeout instead of driving :meth:`fault_in`.
         """
-        key = (id(file), file.version, block)
+        key = (file.file_id, file.version, block)
         cached = self._cached
         if key in cached:
             self.hits += 1
@@ -133,7 +133,7 @@ class HostPageCache:
         # bookkeeping are inlined.
         cached = self._cached
         params = self.params
-        key = (id(file), file.version, block)
+        key = (file.file_id, file.version, block)
         if key in cached:
             self.hits += 1
             cached.move_to_end(key)
@@ -153,7 +153,7 @@ class HostPageCache:
         # (this path runs once per major fault; the former
         # _plan_fault_window/_device_read delegation frames are fused).
         last_block = (file.size - 1) // PAGE_SIZE
-        file_id = id(file)
+        file_id = file.file_id
         version = file.version
         window_end = block + 1
         for candidate in range(block + 1,
@@ -209,13 +209,13 @@ class HostPageCache:
         # read starting where the previous one ended grows the readahead
         # window (16 KiB doubling up to ``readahead_bytes``); a random
         # read resets it and fetches only what was asked for.
-        expected, window = self._readahead.get(id(file), (-1, 0))
+        expected, window = self._readahead.get(file.file_id, (-1, 0))
         if first_block == expected:
             window = min(max(window * 2, 4),
                          self.params.readahead_bytes // PAGE_SIZE)
         else:
             window = 0
-        self._readahead[id(file)] = (last_block + 1, window)
+        self._readahead[file.file_id] = (last_block + 1, window)
         block = first_block
         while block <= last_block:
             if self.is_cached(file, block):

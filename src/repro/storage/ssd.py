@@ -87,8 +87,8 @@ class SsdDevice:
             env = self.env
             controller = self._controller
             grant = controller.request()
-            yield grant
             try:
+                yield grant
                 yield env.timeout(params.controller_us)
             finally:
                 controller.release(grant)
@@ -96,8 +96,8 @@ class SsdDevice:
                        + request.nbytes / self._link_bytes_per_us)
             channels = self._channels
             grant = channels.request()
-            yield grant
             try:
+                yield grant
                 yield env.timeout(service)
             finally:
                 channels.release(grant)
@@ -112,8 +112,8 @@ class SsdDevice:
             env = self.env
             controller = self._controller
             grant = controller.request()
-            yield grant
             try:
+                yield grant
                 yield env.timeout(params.controller_us)
             finally:
                 controller.release(grant)
@@ -121,8 +121,8 @@ class SsdDevice:
                        + request.nbytes / self._link_bytes_per_us)
             channels = self._channels
             grant = channels.request()
-            yield grant
             try:
+                yield grant
                 yield env.timeout(service)
             finally:
                 channels.release(grant)

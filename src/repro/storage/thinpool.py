@@ -53,8 +53,8 @@ class ThinPoolDevice:
     def read(self, request: IoRequest) -> Generator[Event, Any, None]:
         """Serve a read through the pool's limited queue."""
         grant = self._slots.request()
-        yield grant
         try:
+            yield grant
             yield self.env.timeout(self.params.mapping_overhead_us)
             yield from self.backing.read(request)
         finally:
@@ -64,8 +64,8 @@ class ThinPoolDevice:
     def write(self, request: IoRequest) -> Generator[Event, Any, None]:
         """Serve a write through the pool's limited queue."""
         grant = self._slots.request()
-        yield grant
         try:
+            yield grant
             yield self.env.timeout(self.params.mapping_overhead_us)
             yield from self.backing.write(request)
         finally:

@@ -45,8 +45,8 @@ def boot_microvm(host: WorkerHost, profile: FunctionProfile,
 
     # Containerd: serialized bookkeeping, then rootfs (device-mapper) mount.
     grant = host.containerd_lock.request()
-    yield grant
     try:
+        yield grant
         yield host.env.timeout(params.containerd_serial_ms * MS)
     finally:
         host.containerd_lock.release(grant)

@@ -1,0 +1,26 @@
+"""Seeded REPRO-D001 violations (plus allowed forms).
+
+Never imported by tests -- only linted (the ``lint_fixtures`` directory
+is excluded from repo-wide lint runs).
+"""
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def ambient_draws():
+    a = random.random()          # violation: global random stream
+    b = time.time()              # violation: wall clock
+    c = datetime.now()           # violation: wall clock
+    d = os.urandom(8)            # violation: OS entropy
+    e = uuid.uuid4()             # violation: entropy-backed uuid
+    f = os.listdir(".")          # violation: env-dependent ordering
+    return a, b, c, d, e, f
+
+
+def seeded_stream_is_fine(seed):
+    good = random.Random(seed)   # allowed: explicitly seeded
+    bad = random.Random()        # violation: unseeded instance
+    return good, bad

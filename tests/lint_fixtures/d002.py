@@ -1,0 +1,12 @@
+"""Seeded REPRO-D002 violations."""
+
+
+def identity_keyed_cache(files):
+    cache = {}
+    for file in files:
+        cache[id(file)] = file.size  # violation: id()-keyed map
+    return cache
+
+
+def identity_in_key_expr(obj, version):
+    return (id(obj), version)        # violation: id() in derived state

@@ -1,0 +1,18 @@
+"""Seeded REPRO-D003 violations (plus allowed order-insensitive uses)."""
+
+
+def order_dependent(pages):
+    touched = {1, 2, 3}
+    copies = [page for page in touched]   # violation: comprehension
+    listed = list(touched)                # violation: ordered consumer
+    for page in touched:                  # violation: for-loop
+        listed.append(page)
+    return copies, listed
+
+
+def order_insensitive():
+    touched = {1, 2, 3}
+    count = len(touched)                  # allowed: reduction
+    top = max(touched)                    # allowed: reduction
+    ordered = sorted(touched)             # allowed: the fix itself
+    return count, top, ordered

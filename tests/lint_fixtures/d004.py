@@ -1,0 +1,14 @@
+"""Seeded REPRO-D004 violations (plus exempt literal/approx forms)."""
+
+
+def computed_vs_computed(now, deadline, elapsed_ms, total_ms):
+    a = now == deadline          # violation: two accumulated times
+    b = elapsed_ms != total_ms   # violation: two accumulated times
+    return a, b
+
+
+def exempt_forms(now, total_ms, approx):
+    a = now == 0                 # allowed: literal sentinel
+    b = total_ms == 5.0          # allowed: golden literal
+    c = total_ms == approx(5.0)  # allowed: sanctioned epsilon compare
+    return a, b, c

@@ -1,0 +1,17 @@
+"""Seeded REPRO-H001 violations (plus the None idiom)."""
+
+
+def shared_list(items=[]):       # violation
+    return items
+
+
+def shared_dict(mapping={}):     # violation
+    return mapping
+
+
+def shared_ctor(tags=set()):     # violation
+    return tags
+
+
+def independent(items=None):     # allowed
+    return [] if items is None else items

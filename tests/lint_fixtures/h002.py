@@ -1,0 +1,15 @@
+"""Seeded REPRO-H002 violation (plus a narrow handler)."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:                      # violation: bare except
+        return None
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except ValueError:           # allowed
+        return None

@@ -1,0 +1,37 @@
+"""Seeded REPRO-R001 violations (plus the correct idiom)."""
+
+
+def leaky_missing_release(resource):
+    grant = resource.request()   # violation: never released
+    yield grant
+    yield resource.env.timeout(1.0)
+
+
+def leaky_release_not_in_finally(resource):
+    grant = resource.request()   # violation: release outside finally
+    yield grant
+    yield resource.env.timeout(1.0)
+    resource.release(grant)
+
+
+def leaky_wait_outside_try(resource):
+    grant = resource.request()   # violation: the wait is unprotected
+    yield grant
+    try:
+        yield resource.env.timeout(1.0)
+    finally:
+        resource.release(grant)
+
+
+def correct_idiom(resource):
+    grant = resource.request()
+    try:
+        yield grant
+        yield resource.env.timeout(1.0)
+    finally:
+        resource.release(grant)
+
+
+def ownership_transfer(cache):
+    pinned = yield from cache.ensure_local("fn", ("mem",))
+    return pinned                # allowed: the caller owns the pins

@@ -279,3 +279,18 @@ def test_cli_perf_rejects_invalid_report_schema(capsys, tmp_path):
     assert main(["perf", "--compare", str(bogus),
                  "--against", str(report_path)]) == 2
     assert "schema_version" in capsys.readouterr().err
+
+
+def test_cli_lint_alias_forwards_to_linter(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(clean)]) == 0
+    assert "0 violations" in capsys.readouterr().out
+    # Flags after `lint` belong to the linter's own parser.
+    assert main(["lint", "--list-rules"]) == 0
+    assert "REPRO-D001" in capsys.readouterr().out
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert main(["lint", "--format", "json", str(dirty)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"REPRO-D001": 1}

@@ -1,0 +1,217 @@
+"""Tests for the determinism linter (``repro.lint``).
+
+The seeded-violation fixtures in ``tests/lint_fixtures/`` are the
+linter's ground truth: each file plants known violations of one rule
+(plus allowed near-misses) and the tests assert the checker finds
+exactly those.  The directory is excluded from repo-wide walks, so the
+fixtures never fail the tree-wide cleanliness gate at the bottom.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, known_rule_ids, lint_file, lint_paths, lint_source
+from repro.lint.checker import EXCLUDED_PARTS, iter_python_files
+from repro.lint.cli import JSON_SCHEMA_VERSION, main, selected_rules
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def fixture_violations(name, rule=None):
+    report = lint_file(FIXTURES / name)
+    assert report.error is None
+    if rule is not None:
+        assert {v.rule for v in report.violations} == {rule}
+    return report
+
+
+# -- per-rule fixtures -------------------------------------------------------
+
+
+def test_d001_fixture_finds_every_ambient_source():
+    report = fixture_violations("d001.py", "REPRO-D001")
+    assert len(report.violations) == 7
+    messages = " ".join(v.message for v in report.violations)
+    for source in ("random.random", "time.time", "datetime.now",
+                   "os.urandom", "uuid4", "os.listdir", "unseeded"):
+        assert source in messages
+
+
+def test_d001_seeded_random_instance_is_allowed():
+    report = fixture_violations("d001.py")
+    flagged_lines = {v.line for v in report.violations}
+    source = (FIXTURES / "d001.py").read_text().splitlines()
+    seeded_line = next(i for i, text in enumerate(source, 1)
+                       if "random.Random(seed)" in text)
+    assert seeded_line not in flagged_lines
+
+
+def test_d002_fixture():
+    report = fixture_violations("d002.py", "REPRO-D002")
+    assert len(report.violations) == 2
+
+
+def test_d003_fixture_flags_only_order_dependent_consumers():
+    report = fixture_violations("d003.py", "REPRO-D003")
+    assert len(report.violations) == 3
+    # All hits are inside the order_dependent() function.
+    assert max(v.line for v in report.violations) < 12
+
+
+def test_d004_fixture_exempts_literals_and_approx():
+    report = fixture_violations("d004.py", "REPRO-D004")
+    assert len(report.violations) == 2
+    assert all(v.line < 9 for v in report.violations)
+
+
+def test_r001_fixture_flags_three_leak_shapes():
+    report = fixture_violations("r001.py", "REPRO-R001")
+    assert len(report.violations) == 3
+    messages = [v.message for v in report.violations]
+    assert any("never released" in m for m in messages)
+    assert any("not in a finally" in m for m in messages)
+    assert any("move the yield inside the try" in m for m in messages)
+
+
+def test_r001_ownership_transfer_is_allowed():
+    report = fixture_violations("r001.py")
+    # correct_idiom and ownership_transfer are below every seeded hit.
+    assert max(v.line for v in report.violations) < 26
+
+
+def test_h001_fixture():
+    report = fixture_violations("h001.py", "REPRO-H001")
+    assert len(report.violations) == 3
+
+
+def test_h002_fixture():
+    report = fixture_violations("h002.py", "REPRO-H002")
+    assert len(report.violations) == 1
+
+
+# -- allowlist annotations ---------------------------------------------------
+
+
+def test_line_allow_annotations_suppress_and_count():
+    report = fixture_violations("allow.py")
+    assert report.violations == []
+    assert report.suppressed == 4
+
+
+def test_file_allow_annotation_suppresses_whole_file():
+    report = fixture_violations("allow_file.py")
+    assert report.violations == []
+    assert report.suppressed == 2
+
+
+def test_allow_annotation_only_covers_named_rule():
+    source = (
+        "import time\n"
+        "def f(obj):\n"
+        "    return (id(obj), time.time())  # lint: allow[REPRO-D001]\n")
+    report = lint_source(source, "x.py")
+    assert [v.rule for v in report.violations] == ["REPRO-D002"]
+    assert report.suppressed == 1
+
+
+def test_unknown_rule_in_annotation_is_ignored():
+    source = "import time\ndef f():\n    return time.time()  # lint: allow[NOPE-123]\n"
+    report = lint_source(source, "x.py")
+    assert [v.rule for v in report.violations] == ["REPRO-D001"]
+
+
+# -- selection and API -------------------------------------------------------
+
+
+def test_select_limits_enforced_rules():
+    report = lint_file(FIXTURES / "d001.py", select={"REPRO-H002"})
+    assert report.violations == []
+
+
+def test_selected_rules_resolution():
+    assert selected_rules(None, None) == frozenset(RULES)
+    assert selected_rules("REPRO-D001,REPRO-D002", None) == {
+        "REPRO-D001", "REPRO-D002"}
+    assert selected_rules(None, "REPRO-D001") == \
+        frozenset(RULES) - {"REPRO-D001"}
+    with pytest.raises(ValueError):
+        selected_rules("NOT-A-RULE", None)
+
+
+def test_rule_catalog_is_complete_and_stable():
+    assert known_rule_ids() == [
+        "REPRO-D001", "REPRO-D002", "REPRO-D003", "REPRO-D004",
+        "REPRO-R001", "REPRO-H001", "REPRO-H002"]
+    for rule in RULES.values():
+        assert rule.summary and rule.rationale
+
+
+def test_syntax_error_reports_as_file_error():
+    report = lint_source("def broken(:\n", "bad.py")
+    assert report.error is not None
+    assert report.violations == []
+
+
+def test_walk_excludes_fixture_directory_but_not_explicit_files():
+    walked = iter_python_files([str(FIXTURES.parent)])
+    assert not any("lint_fixtures" in p.parts for p in walked)
+    explicit = iter_python_files([str(FIXTURES / "d001.py")])
+    assert len(explicit) == 1
+    assert EXCLUDED_PARTS == ("lint_fixtures",)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_json_schema(capsys):
+    exit_code = main([str(FIXTURES / "d002.py"), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"REPRO-D002": 2}
+    assert payload["suppressed"] == 0
+    for violation in payload["violations"]:
+        assert set(violation) == {"path", "line", "col", "rule", "name",
+                                  "message"}
+        assert violation["rule"] == "REPRO-D002"
+        assert violation["name"] == "identity-keyed-state"
+
+
+def test_cli_exit_codes(capsys, tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean)]) == 0
+    assert main([str(FIXTURES / "h002.py")]) == 1
+    assert main(["--select", "NOT-A-RULE", str(clean)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in known_rule_ids():
+        assert rule_id in out
+
+
+def test_cli_ignore_silences_rule(capsys):
+    exit_code = main([str(FIXTURES / "h002.py"),
+                      "--ignore", "REPRO-H002"])
+    capsys.readouterr()
+    assert exit_code == 0
+
+
+# -- the tree-wide gate ------------------------------------------------------
+
+
+def test_repository_is_lint_clean():
+    """The CI contract: ``python -m repro.lint`` exits 0 on the tree."""
+    reports = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert len(reports) > 50
+    problems = [v.render() for report in reports
+                for v in report.violations]
+    assert problems == [], "\n".join(problems)
+    assert all(report.error is None for report in reports)

@@ -412,6 +412,7 @@ def _event_order_scenario(fastpath):
     resource = Resource(env, capacity=2)
 
     def worker(tag, delay):
+        # lint: allow[REPRO-R001] -- nothing in this body can raise.
         request = resource.request()
         yield request
         log.append((env.now, tag, "granted"))

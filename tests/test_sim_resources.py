@@ -11,6 +11,7 @@ def test_resource_serializes_on_capacity_one():
     spans = []
 
     def worker(tag):
+        # lint: allow[REPRO-R001] -- nothing in this body can raise.
         start_req = resource.request()
         yield start_req
         start = env.now
@@ -69,6 +70,8 @@ def test_resource_release_of_queued_request_cancels_it():
         order.append("holder-done")
 
     def canceller():
+        # The unpaired release IS the test: cancelling a still-queued
+        # request.  # lint: allow[REPRO-R001]
         request = resource.request()
         yield env.timeout(1)
         resource.release(request)  # still queued: cancel
