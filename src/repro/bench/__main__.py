@@ -5,15 +5,24 @@ Subcommands::
     list                      show every experiment id (and its title)
     run EXPERIMENT [...]      run one or more experiments by id/alias
     all                       run every experiment
+    metrics EXPERIMENT [...]  run experiments with the metrics registry
+                              installed and render the per-cell registry
+                              (see docs/observability.md)
     trace generate FILE       synthesize an invocation trace to a file
     trace inspect FILE        summarize a trace file's shape
     perf                      measure simulator speed on fixed cells
                               (writes BENCH_perf.json; see
-                              docs/performance.md)
+                              docs/performance.md); ``--profile`` adds
+                              the engine hotspot table
     lint [ARGS...]            run the determinism linter (alias of
                               ``python -m repro.lint``; see
                               docs/static-analysis.md)
     clean-cache               drop the on-disk result cache
+
+``run``/``all`` accept ``--trace-out FILE`` to record sim-time spans
+for every cell and export them as Chrome ``trace_event`` JSON
+(Perfetto-loadable; forces serial, uncached execution so every span is
+actually recorded in-process).
 
 ``run`` and ``all`` share the execution flags: ``--jobs N`` fans cells
 out over N worker processes, ``--seed`` picks the experiment seed,
@@ -48,8 +57,12 @@ from repro.analysis.report import (
 from repro.bench.cache import ResultCache
 from repro.bench.experiments import ALIASES, EXPERIMENTS, resolve
 from repro.bench.runner import Runner
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiler as obs_profiler
+from repro.obs import tracer as obs_tracer
 
-COMMANDS = ("list", "run", "all", "trace", "perf", "lint", "clean-cache")
+COMMANDS = ("list", "run", "all", "metrics", "trace", "perf", "lint",
+            "clean-cache")
 
 
 def _add_run_flags(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +85,11 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=("table", "json", "csv"),
                         default="table", dest="fmt",
                         help="output encoding (default: table)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        dest="trace_out",
+                        help="record sim-time spans and write a Chrome "
+                             "trace_event JSON file (forces --jobs 1 and "
+                             "--no-cache so spans are recorded in-process)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     everything = commands.add_parser("all", help="run every experiment")
     _add_run_flags(everything)
+
+    metrics = commands.add_parser(
+        "metrics", help="run experiments with the metrics registry on "
+                        "and render the per-cell metric values")
+    metrics.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                         help="experiment id or alias (see 'list')")
+    metrics.add_argument("--seed", type=int, default=42,
+                         help="experiment seed (default: 42)")
+    metrics.add_argument("--format", choices=("table", "json", "csv"),
+                         default="table", dest="fmt",
+                         help="output encoding (default: table)")
 
     trace = commands.add_parser(
         "trace", help="generate / inspect invocation trace files")
@@ -142,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="RATIO", dest="fail_below",
                       help="exit 3 if any cell's speedup falls below "
                            "RATIO (needs --compare)")
+    perf.add_argument("--profile", action="store_true",
+                      help="profile the engine dispatch loop and print "
+                           "the hotspot table; the timing report is NOT "
+                           "written unless --output is given (profiled "
+                           "runs are slower and would poison baselines)")
 
     # "lint" is dispatched in main() before parsing (its flags belong to
     # repro.lint's own parser); registered here so it shows in --help.
@@ -260,17 +294,29 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         cell_ids = None if args.cells is None else \
             [cell_id.strip() for cell_id in args.cells.split(",")
              if cell_id.strip()]
-        report = perf.run_suite(
-            cell_ids, repeat=args.repeat,
-            progress=lambda spec: print(f"running {spec.id} "
-                                        f"({spec.experiment}/{spec.label})"
-                                        f" ...", file=sys.stderr))
-        output = args.output or perf.DEFAULT_OUTPUT
-        perf.save_report(report, output)
+        profiler = obs_profiler.install() if args.profile else None
+        try:
+            report = perf.run_suite(
+                cell_ids, repeat=args.repeat,
+                progress=lambda spec: print(f"running {spec.id} "
+                                            f"({spec.experiment}/"
+                                            f"{spec.label}) ...",
+                                            file=sys.stderr))
+        finally:
+            if profiler is not None:
+                obs_profiler.uninstall()
+        if profiler is None or args.output is not None:
+            # Profiled timings are not comparable to unprofiled
+            # baselines; only persist them on explicit request.
+            output = args.output or perf.DEFAULT_OUTPUT
+            perf.save_report(report, output)
+            print(f"wrote {output}", file=sys.stderr)
         for cell_id, record in report["cells"].items():
             print(f"{cell_id:<20} {record['events_per_sec']:>12,.0f} ev/s"
                   f"  {record['wall_s']:.2f}s  {record['events']:,} events")
-        print(f"wrote {output}", file=sys.stderr)
+        if profiler is not None:
+            print()
+            print(profiler.format_table())
         if args.compare is not None:
             return _compare(perf.load_report(args.compare), report)
         return 0
@@ -285,7 +331,8 @@ def _cmd_clean_cache(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace, names: list[str]) -> int:
+def _check_names(names: list[str]) -> int:
+    """Validate experiment ids/aliases; 0 on success, 2 with a message."""
     try:
         for name in names:
             resolve(name)
@@ -296,10 +343,65 @@ def _cmd_run(args: argparse.Namespace, names: list[str]) -> int:
               f"valid ids:\n  {known}\n"
               f"aliases: {aliases}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    status = _check_names(args.experiments)
+    if status:
+        return status
+    registry = obs_metrics.install()
+    try:
+        # Serial and uncached: the registry lives in this process, and a
+        # cache hit would replay a payload without ever running the cell
+        # (no metrics to snapshot).
+        Runner(jobs=1, cache=None).run(args.experiments, seed=args.seed)
+        registry.finish()
+    finally:
+        obs_metrics.uninstall()
+    rows = registry.rows()
+    if args.fmt == "json":
+        print(json.dumps({"cells": registry.cells}, indent=2,
+                         sort_keys=True))
+    elif args.fmt == "csv":
+        print(rows_to_csv(rows, lead_columns=("cell", "metric", "value")),
+              end="")
+    else:
+        if rows:
+            print(format_table(rows))
+        else:
+            print("(no metrics recorded)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, names: list[str]) -> int:
+    status = _check_names(names)
+    if status:
+        return status
+    if args.trace_out is not None:
+        # Spans are recorded by in-process instrumentation: worker
+        # processes and cache replays would both yield silent gaps.
+        if args.jobs != 1:
+            print("note: --trace-out forces --jobs 1", file=sys.stderr)
+        args.jobs = 1
+        args.no_cache = True
+        tracer = obs_tracer.install()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = Runner(jobs=args.jobs, cache=cache, force=args.force,
                     shard=args.shard)
-    outcome = runner.run(names, seed=args.seed)
+    try:
+        outcome = runner.run(names, seed=args.seed)
+    finally:
+        if args.trace_out is not None:
+            obs_tracer.uninstall()
+    if args.trace_out is not None:
+        try:
+            count = tracer.write(args.trace_out)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {count} trace event(s) to {args.trace_out} "
+              f"(load at https://ui.perfetto.dev)", file=sys.stderr)
     if args.fmt == "json":
         print(render_json(outcome.results, stats=outcome.stats.as_dict()))
     elif args.fmt == "csv":
@@ -329,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_perf(args)
         if args.command == "clean-cache":
             return _cmd_clean_cache(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         names = list(EXPERIMENTS) if args.command == "all" \
             else args.experiments
         return _cmd_run(args, names)

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bench.harness import ExperimentResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 
 
 @dataclass(frozen=True)
@@ -61,15 +63,31 @@ def run_cell_checked(experiment: "Experiment", cell: Cell) -> dict[str, Any]:
     cell's accounting independent, matching the cells-share-no-state
     contract.  All three execution paths (serial :meth:`Experiment.run`,
     the parallel runner, the perf harness) funnel through here.
+
+    The observability layer hooks in here too: when a span tracer or a
+    metrics registry is installed (they never are by default), the cell
+    label is announced before the cell runs, so spans carry
+    ``experiment/label``-prefixed process names and the registry
+    snapshots per cell.
     """
     from repro.sim import sanitizer
 
-    if not sanitizer.enabled():
-        return experiment.run_cell(cell)
-    sanitizer.reset()
-    payload = experiment.run_cell(cell)
-    sanitizer.assert_no_leaks(context=cell.describe())
-    return payload
+    tracer = obs_tracer.ACTIVE
+    if tracer is not None:
+        tracer.begin_cell(cell.describe())
+    registry = obs_metrics.ACTIVE
+    if registry is not None:
+        registry.begin_cell(cell.describe())
+    try:
+        if not sanitizer.enabled():
+            return experiment.run_cell(cell)
+        sanitizer.reset()
+        payload = experiment.run_cell(cell)
+        sanitizer.assert_no_leaks(context=cell.describe())
+        return payload
+    finally:
+        if registry is not None:
+            registry.finish()
 
 
 class Experiment:

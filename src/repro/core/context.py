@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.sim.units import MS
 
@@ -40,7 +41,10 @@ class LatencyBreakdown:
     #: Prefetched pages the invocation never touched (§7.1 mispredictions).
     unused_prefetched: int = 0
 
-    extra: dict[str, float] = field(default_factory=dict)
+    #: Free-form per-policy annotations.  Values keep their natural
+    #: types: timings are floats, counts are ints, flags like
+    #: ``artifact_error`` are bools -- not floats smuggling booleans.
+    extra: dict[str, float | int | bool] = field(default_factory=dict)
 
     @property
     def total_us(self) -> float:
@@ -62,6 +66,32 @@ class LatencyBreakdown:
             "connection": self.connection_us / MS,
             "processing": self.processing_us / MS,
             "finalize": self.finalize_us / MS,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot with every field always present.
+
+        Uniform keys across policies (``unused_prefetched`` is 0, not
+        absent, on non-prefetch paths) so downstream aggregation can
+        index without per-scheme special cases.
+        """
+        return {
+            "policy": self.policy,
+            "function": self.function,
+            "invocation": self.invocation,
+            "load_vmm_us": self.load_vmm_us,
+            "fetch_ws_us": self.fetch_ws_us,
+            "install_ws_us": self.install_ws_us,
+            "connection_us": self.connection_us,
+            "processing_us": self.processing_us,
+            "finalize_us": self.finalize_us,
+            "total_us": self.total_us,
+            "demand_faults": self.demand_faults,
+            "major_faults": self.major_faults,
+            "zero_faults": self.zero_faults,
+            "prefetched_pages": self.prefetched_pages,
+            "unused_prefetched": self.unused_prefetched,
+            "extra": dict(self.extra),
         }
 
     def merge_counters(self, other: "LatencyBreakdown") -> None:

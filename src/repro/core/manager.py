@@ -23,6 +23,7 @@ from typing import Optional
 from repro.core.context import LatencyBreakdown
 from repro.core.files import ReapArtifacts
 from repro.core.policies import RestorePolicy, make_policy
+from repro.obs import tracer as obs_tracer
 from repro.vm.host import WorkerHost
 from repro.vm.snapshot import Snapshot
 
@@ -67,6 +68,8 @@ class ReapManager:
         #: recorded trace/WS files are placed (and reclaimed) through it.
         self.store = store
         self._states: dict[str, FunctionReapState] = {}
+        #: Trace process name (the owning orchestrator overrides it).
+        self.obs_proc = "worker0"
 
     def state_for(self, function_name: str) -> FunctionReapState:
         """The (possibly fresh) state of a function."""
@@ -108,6 +111,7 @@ class ReapManager:
         """Feed one finished cold invocation back into the state machine."""
         state = self.state_for(function_name)
         state.history.append(policy.name)
+        tracer = obs_tracer.ACTIVE
         if policy.name == "record":
             if policy.artifacts is None:
                 raise RuntimeError("record policy finished without artifacts")
@@ -117,6 +121,11 @@ class ReapManager:
             if self.store is not None:
                 self.store.register_reap_artifacts(function_name,
                                                    policy.artifacts)
+            if tracer is not None:
+                tracer.instant("reap_recorded", self.host.env.now,
+                               lane="reap", proc=self.obs_proc, cat="reap",
+                               args={"function": function_name,
+                                     "records_done": state.records_done})
             return
         if policy.name not in ("reap", "ws_file", "parallel_pf"):
             return
@@ -130,6 +139,12 @@ class ReapManager:
         miss_ratio = monitor.demand_faults / prefetched
         if miss_ratio > self.params.mispredict_threshold:
             state.mispredict_streak += 1
+            if tracer is not None:
+                tracer.instant("reap_mispredict", self.host.env.now,
+                               lane="reap", proc=self.obs_proc, cat="reap",
+                               args={"function": function_name,
+                                     "miss_ratio": miss_ratio,
+                                     "streak": state.mispredict_streak})
         else:
             state.mispredict_streak = 0
         if state.mispredict_streak >= self.params.mispredict_streak_limit:
@@ -140,9 +155,20 @@ class ReapManager:
                 state.artifacts = None
                 if self.store is not None:
                     self.store.release_reap_artifacts(function_name)
+                if tracer is not None:
+                    tracer.instant("reap_re_record", self.host.env.now,
+                                   lane="reap", proc=self.obs_proc,
+                                   cat="reap",
+                                   args={"function": function_name,
+                                         "re_records": state.re_records})
             else:
                 # §7.2: fall back to vanilla snapshots.  The recording
                 # will never be read again; stop it occupying the tiers.
                 state.fallback_to_vanilla = True
                 if self.store is not None:
                     self.store.release_reap_artifacts(function_name)
+                if tracer is not None:
+                    tracer.instant("reap_fallback", self.host.env.now,
+                                   lane="reap", proc=self.obs_proc,
+                                   cat="reap",
+                                   args={"function": function_name})

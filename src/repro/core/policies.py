@@ -310,6 +310,10 @@ POLICIES: dict[str, type[RestorePolicy]] = {
                    WsFilePolicy, ReapPolicy)
 }
 
+#: Policies that eagerly install recorded pages before resume; only
+#: these can leave prefetched pages untouched (§7.1 mispredictions).
+PREFETCH_POLICIES: tuple[str, ...] = ("parallel_pf", "ws_file", "reap")
+
 
 def make_policy(name: str, host: WorkerHost, snapshot: Snapshot,
                 breakdown: LatencyBreakdown,

@@ -152,6 +152,16 @@ class ReuseStats:
         """Fraction of pages unique to the second invocation."""
         return 1.0 - self.same_fraction if self.total_pages else 0.0
 
+    def to_dict(self) -> dict[str, int | float]:
+        """JSON-serializable snapshot (counts plus derived fractions)."""
+        return {
+            "same_pages": self.same_pages,
+            "unique_pages": self.unique_pages,
+            "total_pages": self.total_pages,
+            "same_fraction": self.same_fraction,
+            "unique_fraction": self.unique_fraction,
+        }
+
 
 def reuse_between(first: Iterable[int], second: Iterable[int]) -> ReuseStats:
     """Compare the page sets of two invocations of the same function.

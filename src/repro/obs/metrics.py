@@ -1,0 +1,248 @@
+"""Unified metrics registry: counters, gauges, log-bucket histograms.
+
+The registry gives the scattered ``*Stats`` classes one export surface:
+objects exposing ``to_dict()`` register under a prefix (``route``,
+``tier``, ``device`` ...) and are snapshotted -- flattened to dotted
+scalar names -- at every experiment-cell boundary.  Instruments (the
+orchestrator's invocation-latency histograms) record directly.
+
+Histogram buckets are *fixed* powers of two in microseconds
+(:data:`LOG2_BUCKET_BOUNDS_US`), so bucket counts are comparable across
+runs and machines and quantile estimates are deterministic: a quantile
+reports the upper bound of the bucket containing it, never an
+interpolation over sample order.
+
+Off by default; the module-level :data:`ACTIVE` handle is the single
+enable flag (``None`` means every instrumentation site is a single
+attribute load and a branch).  ``bench metrics`` installs a registry,
+runs cells, and renders :meth:`MetricsRegistry.rows` via
+:mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Optional
+
+#: The installed registry, or ``None`` (the default: metrics disabled).
+ACTIVE: Optional["MetricsRegistry"] = None
+
+#: Fixed histogram bucket upper bounds: 1 us, 2 us, ... 2**30 us
+#: (~17.9 simulated minutes), plus an implicit overflow bucket.
+LOG2_BUCKET_BOUNDS_US: tuple[float, ...] = tuple(
+    float(1 << power) for power in range(31))
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written scalar (queue depths, resident bytes)."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed log-2-bucket distribution (default unit: microseconds)."""
+
+    __slots__ = ("name", "unit", "bounds", "counts", "count", "total",
+                 "max_value")
+
+    def __init__(self, name: str, unit: str = "us",
+                 bounds: tuple[float, ...] = LOG2_BUCKET_BOUNDS_US) -> None:
+        self.name = name
+        self.unit = unit
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    def quantile(self, fraction: float) -> float:
+        """Upper bound of the bucket holding the ``fraction`` quantile.
+
+        Deterministic by construction (bucket bounds are fixed); the
+        overflow bucket reports the exact observed maximum.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction out of (0, 1]: {fraction}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        rank = fraction * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_value
+        return self.max_value
+
+    def summary(self) -> dict[str, float]:
+        """Scalar digest: count, sum, mean, p50/p99 (bucketed), max."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "max": self.max_value,
+        }
+
+
+def _flatten(prefix: str, value: Any, out: dict[str, Any]) -> None:
+    """Fold nested dicts into dotted scalar names; skip non-scalars."""
+    if isinstance(value, dict):
+        for key, child in value.items():
+            _flatten(f"{prefix}.{key}", child, out)
+    elif isinstance(value, bool):
+        out[prefix] = int(value)
+    elif isinstance(value, (int, float)):
+        out[prefix] = value
+    elif value is None:
+        pass
+    else:
+        out[prefix] = str(value)
+
+
+class MetricsRegistry:
+    """Named instruments plus registered stats objects, per cell."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        #: ``(prefix, stats_object)`` in registration order; cleared at
+        #: each cell boundary (cells build fresh worker state).
+        self._registered: list[tuple[str, Any]] = []
+        self._cell = ""
+        self._dirty = False
+        #: Finished per-cell snapshots: label -> flattened scalars.
+        self.cells: dict[str, dict[str, Any]] = {}
+
+    # -- instruments ------------------------------------------------------
+
+    def _instrument(self, kind: type, name: str, unit: str) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, unit)
+            self._instruments[name] = instrument
+            self._dirty = True
+        elif type(instrument) is not kind:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._instrument(Counter, name, unit)
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._instrument(Gauge, name, unit)
+
+    def histogram(self, name: str, unit: str = "us") -> Histogram:
+        """Get or create a histogram."""
+        return self._instrument(Histogram, name, unit)
+
+    # -- stats-object registration ---------------------------------------
+
+    def register(self, prefix: str, stats: Any) -> None:
+        """Attach a stats object exporting ``to_dict()`` under a prefix.
+
+        Several objects may share a prefix (one device per worker);
+        duplicates get a stable ``#N`` suffix in snapshot order.
+        """
+        if not hasattr(stats, "to_dict"):
+            raise TypeError(
+                f"{type(stats).__name__} registered under {prefix!r} "
+                f"has no to_dict()")
+        self._registered.append((prefix, stats))
+        self._dirty = True
+
+    # -- cell lifecycle ---------------------------------------------------
+
+    def begin_cell(self, label: str) -> None:
+        """Snapshot the previous cell (if any) and start a new one."""
+        self._snapshot_cell()
+        self._cell = label
+
+    def finish(self) -> None:
+        """Snapshot the final cell (call once after the last run)."""
+        self._snapshot_cell()
+        self._cell = ""
+
+    def _snapshot_cell(self) -> None:
+        if self._dirty:
+            self.cells[self._cell or "default"] = self.snapshot()
+        self._instruments = {}
+        self._registered = []
+        self._dirty = False
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flattened scalar view of instruments + registered stats."""
+        out: dict[str, Any] = {}
+        seen: dict[str, int] = {}
+        for prefix, stats in self._registered:
+            occurrence = seen.get(prefix, 0)
+            seen[prefix] = occurrence + 1
+            key = prefix if occurrence == 0 else f"{prefix}#{occurrence}"
+            _flatten(key, stats.to_dict(), out)
+        for name, instrument in self._instruments.items():
+            if type(instrument) is Histogram:
+                for stat, value in instrument.summary().items():
+                    out[f"{name}.{stat}"] = value
+            else:
+                out[name] = instrument.value
+        return out
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Per-cell ``{cell, metric, value}`` rows for report rendering."""
+        return [{"cell": cell, "metric": metric, "value": value}
+                for cell, snapshot in self.cells.items()
+                for metric, value in snapshot.items()]
+
+
+def install(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Enable metrics collection; returns the active registry."""
+    global ACTIVE
+    ACTIVE = registry if registry is not None else MetricsRegistry()
+    return ACTIVE
+
+
+def uninstall() -> None:
+    """Disable metrics collection."""
+    global ACTIVE
+    ACTIVE = None

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator
 
+from repro.obs import tracer as obs_tracer
 from repro.sim.engine import Event
 from repro.sim.units import SEC
 
@@ -41,6 +42,8 @@ class _FunctionScaleState:
     cold_starts: int = 0
     warm_hits: int = 0
     evictions: int = 0
+    #: Requests seen so far (stable per-function arrival ids for spans).
+    arrivals: int = 0
     queue_depth_samples: list[int] = field(default_factory=list)
 
 
@@ -76,9 +79,23 @@ class Autoscaler:
         entry = self.orchestrator.function(name)
         state.last_invocation_at = self.env.now
         state.queue_depth_samples.append(state.in_flight)
+        arrival = state.arrivals
+        state.arrivals += 1
         use_warm = bool(entry.warm) and state.in_flight < len(entry.warm)
         if not use_warm and state.in_flight >= self.params.max_instances:
             use_warm = True  # saturate existing instances rather than grow
+        tracer = obs_tracer.ACTIVE
+        if tracer is not None:
+            # Admission is instantaneous in this model (no request
+            # queueing ahead of the scale decision), so the span closes
+            # at its start time; it still records the decision and the
+            # concurrency the request saw.
+            span = tracer.begin(
+                "admission", self.env.now, lane=f"{name}@{arrival}",
+                proc=self.orchestrator.obs_proc, cat="admission",
+                args={"function": name, "in_flight": state.in_flight})
+            tracer.end(span, self.env.now,
+                       args={"decision": "warm" if use_warm else "cold"})
         state.in_flight += 1
         try:
             if use_warm and entry.warm:

@@ -34,6 +34,8 @@ from typing import Any, Generator
 from repro.core.manager import ReapParameters
 from repro.functions.spec import FunctionProfile
 from repro.memory.guest import ContentMode
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.orchestrator.autoscaler import Autoscaler, AutoscalerParameters
 from repro.orchestrator.orchestrator import Orchestrator
 from repro.sim.engine import Environment, Event
@@ -63,6 +65,16 @@ class RouteStats:
     #: narrowed the candidate set).
     locality_routed: int = 0
     by_worker: dict[int, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable counter snapshot (string-keyed)."""
+        return {
+            "routed": self.routed,
+            "warm_routed": self.warm_routed,
+            "locality_routed": self.locality_routed,
+            "by_worker": {str(index): count
+                          for index, count in self.by_worker.items()},
+        }
 
 
 def _spread_key(worker: Worker) -> tuple[int, int]:
@@ -98,7 +110,11 @@ class LoadBalancer:
         #: requests than the least-loaded one (locality must not
         #: serialize every cold start behind one containerd lock).
         self.locality_max_skew = locality_max_skew
+        self.env = workers[0].host.env
         self.stats = RouteStats()
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.register("route", self.stats)
 
     def pick(self, function_name: str) -> Worker:
         """Choose the worker for one invocation of ``function_name``."""
@@ -114,16 +130,28 @@ class LoadBalancer:
                 warm_candidates.append(worker)
         if warm_candidates:
             self.stats.warm_routed += 1
+            kind = "warm"
             chosen = min(warm_candidates, key=_spread_key)
         elif self.locality_aware:
+            before = self.stats.locality_routed
             chosen = min(self._cold_candidates(function_name),
                          key=lambda worker: (
                              worker.outstanding,
                              _affinity_digest(function_name, worker)))
+            kind = ("locality" if self.stats.locality_routed > before
+                    else "cold")
         else:
+            kind = "cold"
             chosen = min(self.workers, key=_spread_key)
         self.stats.by_worker[chosen.index] = (
             self.stats.by_worker.get(chosen.index, 0) + 1)
+        tracer = obs_tracer.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "route", self.env.now, lane="frontend", proc="cluster",
+                cat="route",
+                args={"function": function_name, "worker": chosen.index,
+                      "kind": kind, "outstanding": chosen.outstanding})
         return chosen
 
     def _cold_candidates(self, function_name: str) -> list[Worker]:
@@ -172,6 +200,7 @@ class Cluster:
                 content=content, reap_params=reap_params,
                 snapstore_params=snapstore_params)
             autoscaler = Autoscaler(orchestrator, autoscaler_params)
+            orchestrator.set_obs_proc(f"worker{index}")
             self.workers.append(Worker(index=index, host=host,
                                        orchestrator=orchestrator,
                                        autoscaler=autoscaler))

@@ -110,6 +110,20 @@ class LoadStats:
             counts[sample.mode] = counts.get(sample.mode, 0) + 1
         return counts
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary (safe on an empty collection:
+        percentile keys are only present once samples exist)."""
+        summary: dict[str, Any] = {
+            "count": len(self.samples),
+            "cold_fraction": self.cold_fraction,
+            "by_mode": self.by_mode(),
+        }
+        if self.samples:
+            summary["mean_ms"] = self.mean_ms
+            summary["p50_ms"] = self.percentile(0.50)
+            summary["p99_ms"] = self.percentile(0.99)
+        return summary
+
 
 class SchemeInvoker:
     """Pin every invocation of an invoker to one restore scheme.

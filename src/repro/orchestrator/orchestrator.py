@@ -33,7 +33,9 @@ from typing import Any, Generator, Optional
 from repro.core.context import LatencyBreakdown
 from repro.core.files import ArtifactFormatError
 from repro.core.manager import ReapManager, ReapParameters
-from repro.core.policies import RestorePolicy
+from repro.core.policies import PREFETCH_POLICIES, RestorePolicy
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.functions.behavior import FunctionBehavior
 from repro.functions.spec import FunctionProfile
 from repro.memory.guest import ContentMode
@@ -110,6 +112,16 @@ class Orchestrator:
         self.snapshot_store = SnapshotStore(host, tiered=self.snapstore)
         self.reap = ReapManager(host, reap_params, store=self.snapstore)
         self._functions: dict[str, DeployedFunction] = {}
+        #: Trace process name of this worker (clusters override it so
+        #: each worker maps to its own pid in exported traces).
+        self.obs_proc = "worker0"
+
+    def set_obs_proc(self, proc: str) -> None:
+        """Name this worker's trace process and propagate to sub-systems."""
+        self.obs_proc = proc
+        self.reap.obs_proc = proc
+        if self.snapstore is not None:
+            self.snapstore.cache.obs_proc = proc
 
     # -- deployment -----------------------------------------------------------
 
@@ -185,9 +197,18 @@ class Orchestrator:
         """
         entry = self.function(name)
         if use_warm and entry.warm:
-            return (yield from self._invoke_warm(entry, entry.warm[0]))
-        return (yield from self._invoke_cold(entry, mode, flush_page_cache,
-                                             keep_warm))
+            result = yield from self._invoke_warm(entry, entry.warm[0])
+        else:
+            result = yield from self._invoke_cold(entry, mode,
+                                                  flush_page_cache,
+                                                  keep_warm)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.counter(f"invocations.{result.mode}").inc()
+            registry.histogram(
+                f"invoke_latency_us.{result.mode}").observe(
+                    result.latency_us)
+        return result
 
     def evict_warm(self, name: str) -> int:
         """Deallocate all warm instances of a function; returns count."""
@@ -212,16 +233,37 @@ class Orchestrator:
         breakdown = LatencyBreakdown(policy="warm", function=entry.profile.name,
                                      invocation=invocation)
         started = self.env.now
+        tracer = obs_tracer.ACTIVE
+        lane = None
+        warm_span = span = None
+        if tracer is not None:
+            lane = f"{entry.profile.name}#{invocation}"
+            warm_span = tracer.begin(
+                "warm_start", started, lane=lane, proc=self.obs_proc,
+                args={"function": entry.profile.name,
+                      "invocation": invocation})
         handler = self._anonymous_fault_handler(vm, breakdown)
-        # Connection already alive: no handshake, no restore work.
-        phase_start = self.env.now
-        s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
-        if s3_us > 0:
-            yield self.env.timeout(s3_us)
-        compute_us = max(trace.processing_compute_us - s3_us, 0.0)
-        yield from vm.vcpu.execute_phase(vm.memory, trace.processing_pages,
-                                         compute_us, handler)
-        breakdown.processing_us = self.env.now - phase_start
+        try:
+            # Connection already alive: no handshake, no restore work.
+            phase_start = self.env.now
+            if tracer is not None:
+                span = tracer.begin("processing", phase_start, lane=lane,
+                                    proc=self.obs_proc)
+            s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
+            if s3_us > 0:
+                yield self.env.timeout(s3_us)
+            compute_us = max(trace.processing_compute_us - s3_us, 0.0)
+            yield from vm.vcpu.execute_phase(
+                vm.memory, trace.processing_pages, compute_us, handler,
+                obs_lane=lane, obs_proc=self.obs_proc)
+            breakdown.processing_us = self.env.now - phase_start
+        except BaseException:
+            if tracer is not None:
+                tracer.abort_lane(lane, self.env.now, proc=self.obs_proc)
+            raise
+        if tracer is not None:
+            tracer.end(span, self.env.now)
+            tracer.end(warm_span, self.env.now)
         vm.invocations_served += 1
         return InvocationResult(
             function=entry.profile.name, invocation=invocation, mode="warm",
@@ -265,17 +307,44 @@ class Orchestrator:
         # promote/load yields (a concurrent record completing), and the
         # policy must match what was promoted.
         selected = mode or self.reap.mode_for(entry.profile.name)
-        pinned = []
-        if self.snapstore is not None:
-            pinned = yield from self.snapstore.ensure_for_restore(
-                entry.profile.name, selected, breakdown)
+        tracer = obs_tracer.ACTIVE
+        lane = None
+        cold_span = None
+        if tracer is not None:
+            lane = f"{entry.profile.name}#{invocation}"
+            cold_span = tracer.begin(
+                "cold_start", started, lane=lane, proc=self.obs_proc,
+                args={"function": entry.profile.name,
+                      "invocation": invocation, "mode": selected})
         try:
-            result = yield from self._restore_and_serve(
-                entry, snapshot, selected, breakdown, invocation, started,
-                keep_warm, forced=mode is not None)
-        finally:
-            if pinned:
-                self.snapstore.unpin(pinned)
+            pinned = []
+            if self.snapstore is not None:
+                span = None
+                if tracer is not None:
+                    span = tracer.begin("artifact_ensure", self.env.now,
+                                        lane=lane, proc=self.obs_proc,
+                                        cat="snapstore")
+                pinned = yield from self.snapstore.ensure_for_restore(
+                    entry.profile.name, selected, breakdown)
+                if tracer is not None:
+                    tracer.end(span, self.env.now,
+                               args={"pinned": len(pinned)})
+            try:
+                result = yield from self._restore_and_serve(
+                    entry, snapshot, selected, breakdown, invocation,
+                    started, keep_warm, forced=mode is not None,
+                    obs_lane=lane)
+            finally:
+                if pinned:
+                    self.snapstore.unpin(pinned)
+        except BaseException:
+            if tracer is not None:
+                tracer.abort_lane(lane, self.env.now, proc=self.obs_proc)
+            raise
+        if tracer is not None:
+            tracer.end(cold_span, self.env.now,
+                       args={"policy": result.mode,
+                             "total_us": breakdown.total_us})
         return result
 
     def _restore_and_serve(self, entry: DeployedFunction,
@@ -283,9 +352,19 @@ class Orchestrator:
                            breakdown: LatencyBreakdown, invocation: int,
                            started: float, keep_warm: bool,
                            forced: bool = False,
+                           obs_lane: str | None = None,
                            ) -> Generator[Event, Any, InvocationResult]:
+        tracer = obs_tracer.ACTIVE if obs_lane is not None else None
+        proc = self.obs_proc
+        span = None
+
         # 1. Load VMM (containerd + Firecracker + state file + devices).
+        if tracer is not None:
+            span = tracer.begin("load_vmm", self.env.now, lane=obs_lane,
+                                proc=proc, cat="restore")
         yield from self._load_vmm(snapshot, breakdown)
+        if tracer is not None:
+            tracer.end(span, self.env.now)
 
         # A concurrent invocation may have invalidated the recording
         # (re-record / refresh) during the promote/load yields; an
@@ -304,6 +383,10 @@ class Orchestrator:
                                              content=self.content)
         policy.attach(vm)
         try:
+            if tracer is not None:
+                span = tracer.begin("prepare", self.env.now, lane=obs_lane,
+                                    proc=proc, cat="restore",
+                                    args={"policy": policy.name})
             try:
                 yield from policy.prepare(vm)
             except ArtifactFormatError:
@@ -311,47 +394,77 @@ class Orchestrator:
                 # serve every page, so the invocation proceeds (slower);
                 # the stale artifacts are discarded so the next cold
                 # start re-records.
-                breakdown.extra["artifact_error"] = 1.0
+                breakdown.extra["artifact_error"] = True
                 self.reap.state_for(entry.profile.name).artifacts = None
                 if self.snapstore is not None:
                     self.snapstore.release_reap_artifacts(
                         entry.profile.name)
+            if tracer is not None:
+                tracer.end(span, self.env.now,
+                           args={"fetch_ws_us": breakdown.fetch_ws_us,
+                                 "install_ws_us": breakdown.install_ws_us,
+                                 "prefetched": breakdown.prefetched_pages})
             vm.transition(VmState.RUNNING)
             handler = policy.fault_handler(vm)
 
             # 3. Connection restoration (handshake + guest infra pages).
             phase_start = self.env.now
+            if tracer is not None:
+                span = tracer.begin("connection", phase_start,
+                                    lane=obs_lane, proc=proc,
+                                    cat="restore")
             yield self.env.timeout(self.host.params.grpc_handshake_ms * MS)
             yield from vm.vcpu.execute_phase(
                 vm.memory, trace.connection_pages,
-                trace.connection_compute_us, handler)
+                trace.connection_compute_us, handler,
+                obs_lane=obs_lane, obs_proc=proc)
             vm.connected = True
             breakdown.connection_us = self.env.now - phase_start
+            if tracer is not None:
+                tracer.end(span, self.env.now)
 
             # 4. Function processing (S3 input + handler execution).
             phase_start = self.env.now
+            if tracer is not None:
+                span = tracer.begin("processing", phase_start,
+                                    lane=obs_lane, proc=proc)
             s3_us = self.host.s3_fetch_us(entry.profile.input_bytes)
             if s3_us > 0:
                 yield self.env.timeout(s3_us)
             compute_us = max(trace.processing_compute_us - s3_us, 0.0)
             yield from vm.vcpu.execute_phase(
-                vm.memory, trace.processing_pages, compute_us, handler)
+                vm.memory, trace.processing_pages, compute_us, handler,
+                obs_lane=obs_lane, obs_proc=proc)
             breakdown.processing_us = self.env.now - phase_start
+            if tracer is not None:
+                tracer.end(span, self.env.now)
 
             # 5. Finalize (record artifacts; misprediction accounting).
             phase_start = self.env.now
+            if tracer is not None:
+                span = tracer.begin("finalize", phase_start, lane=obs_lane,
+                                    proc=proc, cat="restore")
             yield from policy.finish(vm)
             breakdown.finalize_us = self.env.now - phase_start
+            if tracer is not None:
+                tracer.end(span, self.env.now)
         except BaseException:
             # An Interrupt or model error at any yield above would leak
             # the instance: its monitor process keeps polling the uffd
             # queue and the uffd keeps its registration (the sanitizer's
             # end-of-run leak check).  Tear it down before propagating.
+            # (The caller's abort closes any spans left open here.)
             self._teardown_instance(WarmInstance(vm=vm, policy=policy))
             raise
-        if policy.artifacts is not None:
+        # §7.1 mispredictions: only prefetch policies install pages that
+        # can go untouched; every other policy reports an explicit 0 so
+        # aggregations see the field uniformly.
+        if (policy.name in PREFETCH_POLICIES
+                and policy.artifacts is not None):
             untouched = policy.artifacts.page_set - trace.page_set
             breakdown.unused_prefetched = len(untouched)
+        else:
+            breakdown.unused_prefetched = 0
         self.reap.complete(entry.profile.name, policy)
 
         vm.invocations_served += 1

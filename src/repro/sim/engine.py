@@ -54,6 +54,7 @@ from collections import deque
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import profiler as _profiler
 from repro.sim import sanitizer
 
 #: Process-wide count of events processed by every Environment, for the
@@ -529,6 +530,10 @@ class Environment:
         When ``until`` is a time, the clock always advances to it, even
         if the queue empties early.
         """
+        if _profiler.ACTIVE is not None:
+            # One flag check per run() call, not per event: the fast
+            # loops below stay untouched when profiling is off.
+            return self._run_profiled(until, _profiler.ACTIVE)
         global _events_processed_total
         heap = self._heap
         immediate = self._immediate
@@ -631,3 +636,119 @@ class Environment:
                 gc.enable()
             self.events_processed += count
             _events_processed_total += count
+
+    def _run_profiled(self, until: Optional[float | Event],
+                      profiler: "_profiler.EngineProfiler") -> Any:
+        """:meth:`run` with per-item wall-time attribution.
+
+        Same pop order, same clock advancement, same error and
+        ``events_processed`` semantics as the inlined loops in
+        :meth:`run` -- only dispatch goes through
+        :meth:`_dispatch_profiled`, which brackets each item with host
+        clock reads and feeds the :mod:`repro.obs.profiler` table.
+        """
+        global _events_processed_total
+        heap = self._heap
+        immediate = self._immediate
+        clock = _profiler.perf_counter
+        record = profiler.record
+        count = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if isinstance(until, Event):
+                target = until
+                while not target._processed:
+                    if heap and (not immediate or heap[0][0] <= self._now):
+                        when, _seq, item = heappop(heap)
+                        self._now = when
+                    elif immediate:
+                        item = immediate.popleft()
+                    else:
+                        raise SimulationError(
+                            "event queue exhausted before target event "
+                            "fired")
+                    count += 1
+                    self._dispatch_profiled(item, record, clock)
+                if target._exception is not None:
+                    raise target._exception
+                return target._value
+
+            deadline = float("inf") if until is None else float(until)
+            while True:
+                if heap and (not immediate or heap[0][0] <= self._now):
+                    when = heap[0][0]
+                    if when > deadline:
+                        break
+                    when, _seq, item = heappop(heap)
+                    self._now = when
+                elif immediate:
+                    if self._now > deadline:
+                        break
+                    item = immediate.popleft()
+                else:
+                    break
+                count += 1
+                self._dispatch_profiled(item, record, clock)
+            if until is not None:
+                self._now = max(self._now, deadline)
+            return None
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self.events_processed += count
+            _events_processed_total += count
+
+    def _dispatch_profiled(self, item: Any, record, clock) -> None:
+        """Dispatch one queued item, attributing its wall time.
+
+        Attribution key: the event's class (``Timeout``, ``Process``,
+        ``call:Event`` for queued callback pairs, ``bootstrap`` for
+        process kick-offs) and the resumed process's name (the
+        callback's qualname when no process is involved).
+        """
+        if type(item) is tuple:
+            callback, event = item
+            is_process = type(callback) is Process
+            name = callback.name if is_process else getattr(
+                callback, "__qualname__", type(callback).__name__)
+            event_class = ("bootstrap" if type(event) is _Bootstrap
+                           else f"call:{type(event).__name__}")
+            started = clock()
+            if is_process:
+                callback._resume(event)
+            else:
+                callback(event)
+            record(event_class, name, clock() - started)
+            return
+        event_class = type(item).__name__
+        callback = item._cb
+        if type(callback) is Process:
+            name = callback.name
+        elif type(item) is Process:
+            name = item.name
+        elif callback is not None:
+            name = getattr(callback, "__qualname__",
+                           type(callback).__name__)
+        else:
+            name = "-"
+        started = clock()
+        item._processed = True
+        if callback is not None:
+            item._cb = None
+            if type(callback) is Process:
+                callback._resume(item)
+            else:
+                callback(item)
+            more = item._cbs
+            if more:
+                item._cbs = None
+                for callback in more:
+                    if type(callback) is Process:
+                        callback._resume(item)
+                    else:
+                        callback(item)
+        elif item._exception is not None and not item._defused:
+            raise item._exception
+        record(event_class, name, clock() - started)

@@ -37,6 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.sim import sanitizer
 from repro.sim.engine import Environment, Event
 from repro.storage.device import IoRequest, ReadKind
@@ -135,9 +137,14 @@ class TierStats:
     #: Restores that waited on another restore's in-flight promotion.
     coalesced: int = 0
 
-    def as_dict(self) -> dict[str, int]:
+    def to_dict(self) -> dict[str, int]:
         """JSON-serializable counter snapshot."""
         return dict(vars(self))
+
+    def as_dict(self) -> dict[str, int]:
+        """Alias of :meth:`to_dict` (historical spelling; cell payloads
+        embed these keys, so both stay stable)."""
+        return self.to_dict()
 
 
 class TierCache:
@@ -156,6 +163,16 @@ class TierCache:
         self._local_by_function: dict[str, int] = {}
         self.local_bytes_used = 0
         self.stats = TierStats()
+        #: Trace process name (the owning orchestrator overrides it).
+        self.obs_proc = "worker0"
+        #: Per-call counter naming unique trace lanes for
+        #: :meth:`ensure_local` (concurrent restores of one function
+        #: must not share a lane, or aborting one would close spans the
+        #: other still holds).
+        self._ensure_seq = 0
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.register("tier", self.stats)
 
     # -- registration -----------------------------------------------------
 
@@ -232,6 +249,12 @@ class TierCache:
         completes.  Artifacts that cannot fit stay remote -- subsequent
         reads flow through the remote device per access.
         """
+        tracer = obs_tracer.ACTIVE
+        lane = None
+        span = None
+        if tracer is not None:
+            self._ensure_seq += 1
+            lane = f"{function}:ensure{self._ensure_seq}"
         pinned: list[TierEntry] = []
         try:
             for entry in self.entries_for(function):
@@ -253,13 +276,33 @@ class TierCache:
                     # Another restore is already fetching this artifact;
                     # wait for its transfer instead of a duplicate fetch.
                     self.stats.coalesced += 1
+                    if tracer is not None:
+                        span = tracer.begin(
+                            "promote_wait", self.env.now, lane=lane,
+                            proc=self.obs_proc, cat="snapstore",
+                            args={"artifact": entry.kind,
+                                  "bytes": entry.size})
                     yield entry.promote_done
+                    if tracer is not None:
+                        tracer.end(span, self.env.now)
                     continue
                 self.stats.remote_misses += 1
                 if not self._admit(entry):
                     self.stats.bypassed += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            "tier_bypass", self.env.now, lane=lane,
+                            proc=self.obs_proc, cat="snapstore",
+                            args={"artifact": entry.kind,
+                                  "bytes": entry.size})
                     continue
                 entry.promote_done = self.env.event()
+                if tracer is not None:
+                    span = tracer.begin(
+                        "promote", self.env.now, lane=lane,
+                        proc=self.obs_proc, cat="snapstore",
+                        args={"artifact": entry.kind,
+                              "bytes": entry.size})
                 try:
                     # One large sequential fetch from the remote service.
                     yield from self.remote_device.read(IoRequest(
@@ -289,10 +332,14 @@ class TierCache:
                 # uncharged it.
                 done, entry.promote_done = entry.promote_done, None
                 done.succeed()
+                if tracer is not None:
+                    tracer.end(span, self.env.now)
         except BaseException:
             # The caller never receives the pinned list, so it cannot
             # unpin: drop the pins accrued so far here (REPRO-R001's
             # runtime counterpart -- the sanitizer leak check).
+            if tracer is not None:
+                tracer.abort_lane(lane, self.env.now, proc=self.obs_proc)
             self.unpin(pinned)
             raise
         return pinned

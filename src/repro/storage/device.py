@@ -97,6 +97,23 @@ class DeviceStats:
             self.first_io_at = now
         self.last_io_at = now
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable counter snapshot.
+
+        ``bytes_by_kind`` keys become the enum values (``demand_fault``,
+        ``readahead``, ...) so the export is plain-string keyed.
+        """
+        return {
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "read_requests": self.read_requests,
+            "write_requests": self.write_requests,
+            "bytes_by_kind": {kind.value: nbytes
+                              for kind, nbytes in self.bytes_by_kind.items()},
+            "first_io_at": self.first_io_at,
+            "last_io_at": self.last_io_at,
+        }
+
     def effective_read_mbps(self, elapsed_us: float) -> float:
         """Read bandwidth in MB/s over an elapsed window of simulated time."""
         if elapsed_us <= 0:

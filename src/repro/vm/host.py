@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as obs_metrics
 from repro.sim.engine import Environment
 from repro.sim.resources import Resource
 from repro.sim.rng import RandomStream
@@ -121,6 +122,9 @@ class WorkerHost:
             self.snapshot_device = self.device
         self.filesystem = Filesystem(self.device)
         self.page_cache = HostPageCache(env, self.params.page_cache)
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.register("device", self.device.stats)
         #: Containerd's global serialized section.
         self.containerd_lock = Resource(env, capacity=1)
         #: Host CPU pool (used by CPU-bound control-plane steps).

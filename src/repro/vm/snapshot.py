@@ -35,6 +35,7 @@ from typing import Any, Generator
 from repro.functions.behavior import FunctionBehavior
 from repro.functions.spec import FunctionProfile
 from repro.memory.guest import BackingMode, ContentMode, GuestMemory
+from repro.obs import metrics as obs_metrics
 from repro.sim.engine import Event
 from repro.sim.units import MS, PAGE_SIZE
 from repro.storage.device import IoRequest, ReadKind
@@ -74,6 +75,14 @@ class SnapshotStoreStats:
     #: Bytes returned to the filesystem by generation reclaim.
     reclaimed_bytes: int = 0
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable counter snapshot."""
+        return {
+            "captures": self.captures,
+            "reclaimed_snapshots": self.reclaimed_snapshots,
+            "reclaimed_bytes": self.reclaimed_bytes,
+        }
+
 
 class SnapshotStore:
     """Per-host registry of function snapshots."""
@@ -84,6 +93,9 @@ class SnapshotStore:
         self.tiered = tiered
         self.stats = SnapshotStoreStats()
         self._latest: dict[str, Snapshot] = {}
+        registry = obs_metrics.ACTIVE
+        if registry is not None:
+            registry.register("snapshot_store", self.stats)
 
     def capture(self, vm: MicroVM,
                 stop_vm: bool = True) -> Generator[Event, Any, Snapshot]:

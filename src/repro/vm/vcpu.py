@@ -14,8 +14,9 @@ with all pages resident takes exactly its warm duration.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Sequence
+from typing import Any, Callable, Generator, Optional, Sequence
 
+from repro.obs import tracer as obs_tracer
 from repro.sim.engine import Environment, Event
 
 #: A fault handler resolves one missing page; driven with ``yield from``.
@@ -31,19 +32,30 @@ class VCpu:
         self.faults_taken = 0
 
     def execute_phase(self, memory, pages: Sequence[int], compute_us: float,
-                      fault_handler: FaultHandler | None
+                      fault_handler: FaultHandler | None,
+                      obs_lane: Optional[str] = None,
+                      obs_proc: str = "worker0",
                       ) -> Generator[Event, Any, None]:
         """Run one invocation phase.
 
         ``pages`` is the phase's first-touch sequence; ``compute_us`` the
         guest compute budget for the phase.  ``fault_handler`` resolves
         missing pages; ``None`` asserts that none can occur (warm path).
+        ``obs_lane``/``obs_proc`` name the trace lane for fault-window
+        spans when the span tracer is installed.
         """
         if compute_us < 0:
             raise ValueError(f"negative compute budget: {compute_us}")
         if not pages:
             if compute_us > 0:
                 yield self.env.timeout(compute_us)
+            return
+        tracer = obs_tracer.ACTIVE
+        if (tracer is not None and obs_lane is not None
+                and fault_handler is not None):
+            yield from self._execute_phase_traced(
+                memory, pages, compute_us, fault_handler, tracer,
+                obs_lane, obs_proc)
             return
         per_access = compute_us / len(pages)
         accumulated = 0.0
@@ -66,5 +78,51 @@ class VCpu:
                 accumulated = 0.0
             self.faults_taken += 1
             yield from fault_handler(page)
+        if accumulated > 0.0:
+            yield timeout(accumulated)
+
+    def _execute_phase_traced(self, memory, pages: Sequence[int],
+                              compute_us: float,
+                              fault_handler: FaultHandler,
+                              tracer, obs_lane: str, obs_proc: str,
+                              ) -> Generator[Event, Any, None]:
+        """The same loop with demand-paging windows recorded as spans.
+
+        A *fault window* is a maximal run of consecutive missing pages:
+        one span per window (not per fault) keeps traces readable while
+        still showing exactly where the §4.2 serial-fault pathology
+        bites.  The timeout sequence -- values and positions -- is
+        bit-identical to the untraced loop: compute accumulates across
+        present pages and is yielded only right before a fault and at
+        phase end.
+        """
+        env = self.env
+        per_access = compute_us / len(pages)
+        accumulated = 0.0
+        present = memory._present
+        timeout = env.timeout
+        window = None
+        window_faults = 0
+        for page in pages:
+            accumulated += per_access
+            if page in present:
+                if window is not None:
+                    tracer.end(window, env.now,
+                               args={"faults": window_faults})
+                    window = None
+                continue
+            if accumulated > 0.0:
+                yield timeout(accumulated)
+                accumulated = 0.0
+            if window is None:
+                window = tracer.begin("fault_window", env.now,
+                                      lane=obs_lane, proc=obs_proc,
+                                      cat="paging")
+                window_faults = 0
+            window_faults += 1
+            self.faults_taken += 1
+            yield from fault_handler(page)
+        if window is not None:
+            tracer.end(window, env.now, args={"faults": window_faults})
         if accumulated > 0.0:
             yield timeout(accumulated)
