@@ -1,0 +1,40 @@
+"""Resilience extension: SLOs under deterministic fault injection (§3.2)."""
+
+from conftest import run_once
+
+from repro.bench.experiments import run_experiment
+
+SCHEMES = ("vanilla", "reap")
+SCENARIOS = ("baseline", "crash", "outage", "stall", "spike",
+             "crash_outage")
+
+
+def test_slo_scorecard(benchmark, report):
+    result = run_once(benchmark, run_experiment, "slo_scorecard")
+    report(result)
+    metrics = result.metrics
+    for scheme in SCHEMES:
+        # The resilience machinery is invisible without faults: the
+        # baseline scenario completes everything it was asked to.
+        assert metrics[f"baseline_{scheme}_availability"] == 1.0
+        # Every fault scenario keeps availability high -- failover
+        # re-routing, serve-remote bypass, and degrade-to-vanilla keep
+        # serving through crashes, outages, and spikes.
+        for scenario in SCENARIOS:
+            assert metrics[f"{scenario}_{scheme}_availability"] > 0.9
+        # Faults cost tail latency, not correctness: fail-mode outages
+        # produce the worst p99 of the scenario set.
+        assert (metrics[f"outage_{scheme}_p99_ms"]
+                > metrics[f"baseline_{scheme}_p99_ms"])
+        assert (metrics[f"stall_{scheme}_p99_ms"]
+                > metrics[f"baseline_{scheme}_p99_ms"])
+    # REAP's small artifacts recover faster than lazy paging in every
+    # single-fault scenario.  crash_outage is the exception by design:
+    # the crash re-homes vanilla's restore-critical artifacts locally,
+    # while REAP's lazily-faulted unique pages still stall through the
+    # subsequent outage window (demand faults cannot fail fast).
+    for scenario in ("baseline", "crash", "outage", "stall", "spike"):
+        assert (metrics[f"{scenario}_vanilla_p99_ms"]
+                >= metrics[f"{scenario}_reap_p99_ms"])
+    for row in result.rows:
+        assert row["issued"] > 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.bench.experiments.chaos_eval import SloScorecard
 from repro.bench.experiments.characterization import (
     Fig2ColdVsWarm,
     Fig3Contiguity,
@@ -79,6 +80,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
         TraceClusterScale(),
         SnapstoreCapacity(),
         SnapstoreTiering(),
+        SloScorecard(),
     )
 }
 

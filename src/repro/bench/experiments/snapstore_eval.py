@@ -254,31 +254,32 @@ class SnapstoreTiering(Experiment):
                 # contributes no samples (guarded below).
                 continue
             env = Environment()
-            cluster = Cluster(
-                env, n_workers=2, seed=rep_seed,
-                autoscaler_params=AutoscalerParameters(
-                    keepalive_s=recommended_keepalive_s("azure"),
-                    scan_period_s=15.0),
-                snapstore_params=TierParameters(
-                    local_capacity_bytes=capacity_mb * MIB,
-                    eviction=policy),
-                locality_aware=locality)
-            for name in functions:
-                process = env.process(cluster.deploy(get_profile(name)))
-                env.run(until=process)
-            if scheme == "reap":
-                # One record per function per worker before the measured
-                # replay (Fig. 8 methodology; see TraceReplayEval).
-                for worker in cluster.workers:
-                    for name in functions:
-                        process = env.process(
-                            worker.orchestrator.invoke(name))
-                        env.run(until=process)
-            replayer = TraceReplayer(env, SchemeInvoker(cluster, scheme),
-                                     trace)
-            process = env.process(replayer.run())
-            stats = env.run(until=process)
-            cluster.shutdown()
+            with Cluster(
+                    env, n_workers=2, seed=rep_seed,
+                    autoscaler_params=AutoscalerParameters(
+                        keepalive_s=recommended_keepalive_s("azure"),
+                        scan_period_s=15.0),
+                    snapstore_params=TierParameters(
+                        local_capacity_bytes=capacity_mb * MIB,
+                        eviction=policy),
+                    locality_aware=locality) as cluster:
+                for name in functions:
+                    process = env.process(
+                        cluster.deploy(get_profile(name)))
+                    env.run(until=process)
+                if scheme == "reap":
+                    # One record per function per worker before the
+                    # measured replay (Fig. 8 methodology; see
+                    # TraceReplayEval).
+                    for worker in cluster.workers:
+                        for name in functions:
+                            process = env.process(
+                                worker.orchestrator.invoke(name))
+                            env.run(until=process)
+                replayer = TraceReplayer(
+                    env, SchemeInvoker(cluster, scheme), trace)
+                process = env.process(replayer.run())
+                stats = env.run(until=process)
             for function_stats in stats.values():
                 latencies.extend(function_stats.latencies())
                 cold += sum(1 for sample in function_stats.samples

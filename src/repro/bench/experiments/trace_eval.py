@@ -191,25 +191,25 @@ class TraceClusterScale(Experiment):
             functions=functions, rate_class="azure",
             duration_s=cell.params["duration_s"]), seed=seed)
         env = Environment()
-        cluster = Cluster(env, n_workers=n_workers, seed=seed,
-                          autoscaler_params=AutoscalerParameters(
-                              keepalive_s=recommended_keepalive_s("azure"),
-                              scan_period_s=15.0))
-        for name in functions:
-            process = env.process(cluster.deploy(get_profile(name)))
-            env.run(until=process)
-        if scheme == "reap":
-            # Each worker records once per function before the replay
-            # (see TraceReplayEval.run_cell on why record is excluded).
-            for worker in cluster.workers:
-                for name in functions:
-                    process = env.process(
-                        worker.orchestrator.invoke(name))
-                    env.run(until=process)
-        replayer = TraceReplayer(env, SchemeInvoker(cluster, scheme), trace)
-        process = env.process(replayer.run())
-        stats = env.run(until=process)
-        cluster.shutdown()
+        with Cluster(env, n_workers=n_workers, seed=seed,
+                     autoscaler_params=AutoscalerParameters(
+                         keepalive_s=recommended_keepalive_s("azure"),
+                         scan_period_s=15.0)) as cluster:
+            for name in functions:
+                process = env.process(cluster.deploy(get_profile(name)))
+                env.run(until=process)
+            if scheme == "reap":
+                # Each worker records once per function before the replay
+                # (see TraceReplayEval.run_cell on why record is excluded).
+                for worker in cluster.workers:
+                    for name in functions:
+                        process = env.process(
+                            worker.orchestrator.invoke(name))
+                        env.run(until=process)
+            replayer = TraceReplayer(env, SchemeInvoker(cluster, scheme),
+                                     trace)
+            process = env.process(replayer.run())
+            stats = env.run(until=process)
         pooled = _pooled(stats)
         routed = cluster.balancer.stats
         warm_routed = routed.warm_routed / routed.routed if routed.routed \

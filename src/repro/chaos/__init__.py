@@ -1,0 +1,45 @@
+"""Deterministic fault injection and the resilience it exercises.
+
+``repro.chaos`` hosts the fleet-scale robustness machinery: declarative
+:class:`~repro.chaos.plan.FaultPlan` schedules (worker crashes/joins,
+remote-storage outages and latency spikes) and the
+:class:`~repro.chaos.injector.ChaosController` sim process that applies
+them to a cluster at exact sim times.  Faults are ordinary seeded model
+inputs -- never wall-clock or ambient randomness -- so chaos cells obey
+the same serial == parallel == cached byte-identity contract as every
+other experiment.  See docs/architecture.md ("Resilience") for the
+fault model and the failover/re-replication responses.
+"""
+
+from repro.chaos.injector import ChaosController, ChaosStats
+from repro.chaos.plan import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    OUTAGE_MODES,
+    RemoteLatencySpike,
+    RemoteOutage,
+    RetryPolicy,
+    SCENARIOS,
+    WorkerCrash,
+    WorkerJoin,
+    scenario_plan,
+    synthesize_plan,
+)
+
+__all__ = [
+    "ChaosController",
+    "ChaosStats",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "OUTAGE_MODES",
+    "RemoteLatencySpike",
+    "RemoteOutage",
+    "RetryPolicy",
+    "SCENARIOS",
+    "WorkerCrash",
+    "WorkerJoin",
+    "scenario_plan",
+    "synthesize_plan",
+]

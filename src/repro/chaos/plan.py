@@ -1,0 +1,272 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is a time-ordered schedule of fault events -- the
+*what and when* of a chaos run, fully determined by the cell parameters
+it was built from.  The :class:`~repro.chaos.injector.ChaosController`
+replays it inside the simulation, flipping failure state at exact sim
+times, so chaos cells keep the repo's determinism contract: serial ==
+parallel == cached, byte-identical.
+
+Four event kinds exist (factory helpers below build them):
+
+* :func:`WorkerCrash` -- a worker fail-stops: in-flight invocations
+  abort mid-restore, its warm pool and local tier contents are lost,
+  and it is cordoned out of routing;
+* :func:`WorkerJoin` -- a fresh worker is provisioned, deployed, and
+  wired into the front end;
+* :func:`RemoteOutage` -- the remote snapshot-storage service becomes
+  unreachable for a window (``fail``: requests error immediately;
+  ``stall``: requests park until the outage lifts);
+* :func:`RemoteLatencySpike` -- the network path to the remote service
+  degrades (latency multiplied, bandwidth cut) for a window.
+
+Plans come from three sources: built explicitly from the factories,
+derived from a named scenario (:func:`scenario_plan` -- what the
+``slo_scorecard`` experiment uses), or synthesized from a seed
+(:func:`synthesize_plan`).  All three are pure functions of their
+arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.rng import RandomStream
+
+#: Recognized event kinds, in display order.
+EVENT_KINDS = ("worker_crash", "worker_join", "remote_outage",
+               "remote_latency_spike")
+
+#: Remote-outage semantics.
+OUTAGE_MODES = ("fail", "stall")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault (kind-discriminated; see the factories)."""
+
+    #: Sim time of the event, seconds from the start of the chaos run.
+    at_s: float
+    kind: str
+    #: Crash target (``worker_crash`` only).
+    worker: int = 0
+    #: Window length of outages/spikes, in seconds.
+    duration_s: float = 0.0
+    #: Outage semantics (``remote_outage`` only).
+    mode: str = "fail"
+    #: Latency/overhead multiplier (``remote_latency_spike`` only).
+    latency_multiplier: float = 1.0
+    #: Bandwidth multiplier, < 1 slows transfers (spike only).
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            known = ", ".join(EVENT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {known}")
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        if self.mode not in OUTAGE_MODES:
+            known = ", ".join(OUTAGE_MODES)
+            raise ValueError(f"unknown outage mode {self.mode!r}; "
+                             f"known: {known}")
+        if self.latency_multiplier <= 0 or self.bandwidth_factor <= 0:
+            raise ValueError("spike multipliers must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (ships inside cell params)."""
+        return {
+            "at_s": self.at_s,
+            "kind": self.kind,
+            "worker": self.worker,
+            "duration_s": self.duration_s,
+            "mode": self.mode,
+            "latency_multiplier": self.latency_multiplier,
+            "bandwidth_factor": self.bandwidth_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+def WorkerCrash(at_s: float, worker: int) -> FaultEvent:
+    """Fail-stop of one worker at ``at_s``."""
+    return FaultEvent(at_s=at_s, kind="worker_crash", worker=worker)
+
+
+def WorkerJoin(at_s: float) -> FaultEvent:
+    """A fresh worker joins the fleet at ``at_s``."""
+    return FaultEvent(at_s=at_s, kind="worker_join")
+
+
+def RemoteOutage(at_s: float, duration_s: float,
+                 mode: str = "fail") -> FaultEvent:
+    """The remote storage service goes dark for ``duration_s``."""
+    return FaultEvent(at_s=at_s, kind="remote_outage",
+                      duration_s=duration_s, mode=mode)
+
+
+def RemoteLatencySpike(at_s: float, duration_s: float,
+                       latency_multiplier: float = 4.0,
+                       bandwidth_factor: float = 0.25) -> FaultEvent:
+    """The network path to remote storage degrades for a window."""
+    return FaultEvent(at_s=at_s, kind="remote_latency_spike",
+                      duration_s=duration_s,
+                      latency_multiplier=latency_multiplier,
+                      bandwidth_factor=bandwidth_factor)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Front-end failover budget: bounded retry with exponential backoff."""
+
+    #: Re-routes after the first attempt; an invocation is shed once
+    #: ``max_retries`` replays have failed.
+    max_retries: int = 2
+    #: First backoff, in seconds.
+    backoff_base_s: float = 0.25
+    #: Backoff growth per retry.
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and "
+                             "non-shrinking")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before replaying after the ``attempt``-th failure."""
+        return self.backoff_base_s * self.backoff_factor ** attempt
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-ordered fault schedule plus the failover budget."""
+
+    events: tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda event: event.at_s))
+        object.__setattr__(self, "events", ordered)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (ships inside cell params)."""
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "retry": {
+                "max_retries": self.retry.max_retries,
+                "backoff_base_s": self.retry.backoff_base_s,
+                "backoff_factor": self.retry.backoff_factor,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            events=tuple(FaultEvent.from_dict(event)
+                         for event in data.get("events", ())),
+            retry=RetryPolicy(**data.get("retry", {})))
+
+
+#: Named scorecard scenarios (docs/experiments.md documents each).
+SCENARIOS = ("baseline", "crash", "outage", "stall", "spike",
+             "crash_outage")
+
+
+def scenario_plan(scenario: str, duration_s: float,
+                  n_workers: int = 3) -> FaultPlan:
+    """The fault plan of one named ``slo_scorecard`` scenario.
+
+    Event times are fractions of the replay duration, so every scenario
+    scales with the trace it stresses.  Crashes always hit worker 0 (the
+    rendezvous home of some functions, so re-replication is exercised);
+    joins restore the pre-crash fleet size.
+    """
+    t = float(duration_s)
+    if scenario == "baseline":
+        return FaultPlan()
+    if scenario == "crash":
+        return FaultPlan(events=(
+            WorkerCrash(at_s=0.35 * t, worker=0),
+            WorkerJoin(at_s=0.60 * t),
+        ))
+    if scenario == "outage":
+        return FaultPlan(events=(
+            RemoteOutage(at_s=0.30 * t, duration_s=0.15 * t, mode="fail"),
+        ))
+    if scenario == "stall":
+        return FaultPlan(events=(
+            RemoteOutage(at_s=0.30 * t, duration_s=0.10 * t, mode="stall"),
+        ))
+    if scenario == "spike":
+        return FaultPlan(events=(
+            RemoteLatencySpike(at_s=0.30 * t, duration_s=0.25 * t,
+                               latency_multiplier=8.0,
+                               bandwidth_factor=0.25),
+        ))
+    if scenario == "crash_outage":
+        return FaultPlan(events=(
+            WorkerCrash(at_s=0.35 * t, worker=0),
+            RemoteOutage(at_s=0.50 * t, duration_s=0.10 * t, mode="fail"),
+            WorkerJoin(at_s=0.70 * t),
+        ))
+    known = ", ".join(SCENARIOS)
+    raise ValueError(f"unknown scenario {scenario!r}; known: {known}")
+
+
+def synthesize_plan(seed: int, duration_s: float, n_workers: int,
+                    crashes: int = 1, joins: int = 1, outages: int = 1,
+                    spikes: int = 1) -> FaultPlan:
+    """Derive a random-but-deterministic plan from a seed.
+
+    Same arguments, same plan -- the stream is namespaced exactly like
+    every other seeded model (:class:`~repro.sim.rng.RandomStream`), so
+    synthesized plans are safe to rebuild inside cells.  Events land in
+    the middle 80 % of the run; crash targets stay below ``n_workers``
+    so at least the initial fleet indices are valid.
+    """
+    stream = RandomStream(seed, "chaos-plan")
+
+    def window() -> float:
+        return stream.uniform(0.1 * duration_s, 0.9 * duration_s)
+
+    events: list[FaultEvent] = []
+    for _ in range(crashes):
+        events.append(WorkerCrash(at_s=window(),
+                                  worker=stream.randint(0, n_workers - 1)))
+    for _ in range(joins):
+        events.append(WorkerJoin(at_s=window()))
+    for _ in range(outages):
+        events.append(RemoteOutage(
+            at_s=window(), duration_s=stream.uniform(0.02, 0.10) * duration_s,
+            mode=stream.choice(OUTAGE_MODES)))
+    for _ in range(spikes):
+        events.append(RemoteLatencySpike(
+            at_s=window(), duration_s=stream.uniform(0.05, 0.20) * duration_s,
+            latency_multiplier=stream.uniform(2.0, 10.0),
+            bandwidth_factor=stream.uniform(0.1, 0.5)))
+    return FaultPlan(events=tuple(events))
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "OUTAGE_MODES",
+    "RemoteLatencySpike",
+    "RemoteOutage",
+    "RetryPolicy",
+    "SCENARIOS",
+    "WorkerCrash",
+    "WorkerJoin",
+    "scenario_plan",
+    "synthesize_plan",
+]

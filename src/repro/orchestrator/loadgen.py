@@ -68,6 +68,9 @@ class LoadStats:
     """
 
     samples: list[LatencySample] = field(default_factory=list)
+    #: Requests shed by the cluster after exhausting its retry budget
+    #: (only ever nonzero under fault injection).
+    shed: int = 0
     #: Sorted-latency cache; rebuilt whenever the sample count changes.
     _sorted: list[float] | None = field(
         default=None, init=False, repr=False, compare=False)
@@ -122,6 +125,10 @@ class LoadStats:
             summary["mean_ms"] = self.mean_ms
             summary["p50_ms"] = self.percentile(0.50)
             summary["p99_ms"] = self.percentile(0.99)
+        if self.shed:
+            # Key appears only under fault injection, keeping fault-free
+            # summaries (and anything hashed from them) unchanged.
+            summary["shed"] = self.shed
         return summary
 
 
@@ -160,8 +167,17 @@ class _OpenLoopClient:
             name: LoadStats() for name in functions}
 
     def _one_request(self, function: str) -> Generator[Event, Any, None]:
+        from repro.orchestrator.cluster import InvocationShed
+
         issued_at = self.env.now
-        result = yield from self.invoker.invoke(function)
+        try:
+            result = yield from self.invoker.invoke(function)
+        except InvocationShed:
+            # The cluster exhausted its failover budget for this request
+            # (fault injection); count it against availability and keep
+            # the open loop running.
+            self.stats[function].shed += 1
+            return
         self.stats[function].add(LatencySample(
             function=function,
             issued_at=issued_at,

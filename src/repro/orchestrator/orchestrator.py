@@ -178,6 +178,10 @@ class Orchestrator:
         except KeyError:
             raise KeyError(f"function {name!r} not deployed") from None
 
+    def has_function(self, name: str) -> bool:
+        """Whether ``name`` is deployed on this worker (routing check)."""
+        return name in self._functions
+
     def deployed_names(self) -> list[str]:
         """All deployed function names."""
         return list(self._functions)
@@ -329,6 +333,15 @@ class Orchestrator:
                 if tracer is not None:
                     tracer.end(span, self.env.now,
                                args={"pinned": len(pinned)})
+                if (mode is None
+                        and selected in ("reap", "ws_file", "parallel_pf")
+                        and breakdown.extra.get("artifact_unreachable")):
+                    # The recorded trace/WS artifacts sit behind an
+                    # unreachable remote service: degrade to a vanilla
+                    # restore (lazy faults hit whatever is locally
+                    # resident) instead of failing in prepare().
+                    selected = "vanilla"
+                    breakdown.extra["degraded_to_vanilla"] = True
             try:
                 result = yield from self._restore_and_serve(
                     entry, snapshot, selected, breakdown, invocation,

@@ -99,6 +99,7 @@ class TieredSnapshotStore:
         """
         kinds = MODE_ARTIFACTS.get(mode, ("vmm", "mem"))
         started = self.host.env.now
+        before_unreachable = self.cache.stats.unreachable
         pinned = yield from self.cache.ensure_local(function_name, kinds)
         if breakdown is not None:
             elapsed = self.host.env.now - started
@@ -106,6 +107,11 @@ class TieredSnapshotStore:
                 breakdown.extra["snapstore_promote_us"] = (
                     breakdown.extra.get("snapstore_promote_us", 0.0)
                     + elapsed)
+            if self.cache.stats.unreachable > before_unreachable:
+                # Remote outage left artifacts unpromoted; the
+                # orchestrator may degrade a prefetching restore to
+                # vanilla rather than lazy-fault against a dead service.
+                breakdown.extra["artifact_unreachable"] = True
         return pinned
 
     def unpin(self, entries: list[TierEntry]) -> None:

@@ -43,7 +43,11 @@ from repro.sim import sanitizer
 from repro.sim.engine import Environment, Event
 from repro.storage.device import IoRequest, ReadKind
 from repro.storage.filesystem import SimFile
-from repro.storage.remote import RemoteDevice, RemoteStorageParameters
+from repro.storage.remote import (
+    RemoteDevice,
+    RemoteOutageError,
+    RemoteStorageParameters,
+)
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,11 @@ class TierParameters:
     #: Network path to the remote service; ``None`` uses the host's
     #: calibrated :class:`~repro.storage.remote.RemoteStorageParameters`.
     remote: Optional[RemoteStorageParameters] = None
+    #: Promotion deadline in sim microseconds; a promote still in flight
+    #: past it is abandoned and the artifact served remotely in place
+    #: (resilience under outages/latency spikes).  ``None`` (default)
+    #: keeps the unbounded direct-fetch path.
+    promote_timeout_us: Optional[float] = None
 
     def __post_init__(self) -> None:
         if (self.local_capacity_bytes is not None
@@ -67,6 +76,9 @@ class TierParameters:
             known = ", ".join(sorted(EVICTION_POLICIES))
             raise ValueError(f"unknown eviction policy "
                              f"{self.eviction!r}; known: {known}")
+        if (self.promote_timeout_us is not None
+                and self.promote_timeout_us <= 0):
+            raise ValueError("promote_timeout_us must be positive or None")
 
 
 @dataclass
@@ -136,6 +148,10 @@ class TierStats:
     bypassed: int = 0
     #: Restores that waited on another restore's in-flight promotion.
     coalesced: int = 0
+    #: Promotions abandoned at the ``promote_timeout_us`` deadline.
+    promote_timeouts: int = 0
+    #: Promotions that failed because the remote service was down.
+    unreachable: int = 0
 
     def to_dict(self) -> dict[str, int]:
         """JSON-serializable counter snapshot."""
@@ -296,44 +312,18 @@ class TierCache:
                             args={"artifact": entry.kind,
                                   "bytes": entry.size})
                     continue
-                entry.promote_done = self.env.event()
-                if tracer is not None:
-                    span = tracer.begin(
-                        "promote", self.env.now, lane=lane,
-                        proc=self.obs_proc, cat="snapstore",
-                        args={"artifact": entry.kind,
-                              "bytes": entry.size})
                 try:
-                    # One large sequential fetch from the remote service.
-                    yield from self.remote_device.read(IoRequest(
-                        lba=entry.file.to_lba(0), nbytes=entry.size,
-                        kind=ReadKind.BUFFERED))
-                except BaseException:
-                    # Failed promotion (Interrupt/model error mid
-                    # transfer): undo the _admit reservation -- the
-                    # artifact never became local -- and wake coalesced
-                    # waiters, whose reads then flow through the remote
-                    # device per access.  Without this the budget bytes
-                    # and the waiters leak forever.
-                    if entry.charged:
-                        entry.charged = False
-                        self.local_bytes_used -= entry.size
-                    done, entry.promote_done = entry.promote_done, None
-                    done.succeed()
-                    raise
-                if self._entries.get(entry.file.name) is entry:
-                    entry.file.device = entry.home_device
-                    entry.local = True
-                    self._count_local(entry, +1)
-                    self.stats.promotions += 1
-                    self.stats.promoted_bytes += entry.size
-                # else: released mid-transfer (superseded generation) --
-                # the file stays on the remote path and release()
-                # uncharged it.
-                done, entry.promote_done = entry.promote_done, None
-                done.succeed()
-                if tracer is not None:
-                    tracer.end(span, self.env.now)
+                    if self.params.promote_timeout_us is None:
+                        yield from self._promote(entry, lane)
+                    else:
+                        yield from self._promote_bounded(entry, lane)
+                except RemoteOutageError:
+                    # Remote service down (fail-mode outage): the
+                    # artifact stays remote and the entry stays pinned;
+                    # the caller decides whether to degrade the restore
+                    # (the store surfaces this through the breakdown).
+                    self.stats.unreachable += 1
+                    continue
         except BaseException:
             # The caller never receives the pinned list, so it cannot
             # unpin: drop the pins accrued so far here (REPRO-R001's
@@ -350,6 +340,101 @@ class TierCache:
             if entry.pins <= 0:
                 raise RuntimeError(f"{entry.file.name}: unpin without pin")
             entry.pins -= 1
+
+    def _promote(self, entry: TierEntry,
+                 lane: str | None) -> Generator[Event, Any, None]:
+        """Fetch one artifact from the remote service and flip it local.
+
+        Cleans up after itself on *any* failure -- Interrupt (abandoned
+        at the promote deadline, or the promoting restore crashed),
+        outage error, model error -- by undoing the ``_admit``
+        reservation and waking coalesced waiters, whose reads then flow
+        through the remote device per access.  Without that the budget
+        bytes and the waiters leak forever.
+        """
+        tracer = obs_tracer.ACTIVE
+        span = None
+        entry.promote_done = self.env.event()
+        if tracer is not None:
+            span = tracer.begin(
+                "promote", self.env.now, lane=lane,
+                proc=self.obs_proc, cat="snapstore",
+                args={"artifact": entry.kind, "bytes": entry.size})
+        try:
+            # One large sequential fetch from the remote service.
+            yield from self.remote_device.read(IoRequest(
+                lba=entry.file.to_lba(0), nbytes=entry.size,
+                kind=ReadKind.BUFFERED))
+        except BaseException:
+            if entry.charged:
+                entry.charged = False
+                self.local_bytes_used -= entry.size
+            done, entry.promote_done = entry.promote_done, None
+            done.succeed()
+            if tracer is not None:
+                tracer.abort_lane(lane, self.env.now, proc=self.obs_proc)
+            raise
+        if self._entries.get(entry.file.name) is entry:
+            entry.file.device = entry.home_device
+            entry.local = True
+            self._count_local(entry, +1)
+            self.stats.promotions += 1
+            self.stats.promoted_bytes += entry.size
+        # else: released mid-transfer (superseded generation) -- the
+        # file stays on the remote path and release() uncharged it.
+        done, entry.promote_done = entry.promote_done, None
+        done.succeed()
+        if tracer is not None:
+            tracer.end(span, self.env.now)
+
+    def _promote_bounded(self, entry: TierEntry,
+                         lane: str | None) -> Generator[Event, Any, None]:
+        """Race :meth:`_promote` against the configured deadline.
+
+        The fetch runs as a child process; if the deadline fires first
+        it is interrupted (its own cleanup undoes the reservation and
+        wakes waiters) and the artifact is served remotely in place --
+        same semantics as a capacity bypass.  A fetch that *fails*
+        before the deadline re-raises here (the late abandoned-process
+        failure after a deadline win is defused by the race event).
+        """
+        proc = self.env.process(self._promote(entry, lane),
+                                name=f"promote:{entry.file.name}")
+        try:
+            yield self.env.any_of([
+                proc, self.env.timeout(self.params.promote_timeout_us)])
+        except BaseException:
+            # The promoting restore itself was aborted (or the fetch
+            # failed): make sure the child is not left running.
+            if proc.is_alive:
+                proc.interrupt("promote-abort")
+            raise
+        if proc.is_alive:
+            proc.interrupt("promote-timeout")
+            self.stats.promote_timeouts += 1
+            self.stats.bypassed += 1
+            tracer = obs_tracer.ACTIVE
+            if tracer is not None:
+                tracer.instant(
+                    "promote_timeout", self.env.now, lane=lane,
+                    proc=self.obs_proc, cat="snapstore",
+                    args={"artifact": entry.kind, "bytes": entry.size})
+
+    def lose_local(self) -> int:
+        """Crash semantics: drop every locally resident artifact copy.
+
+        Registration is write-through, so the remote copies survive a
+        worker crash; the local tier contents do not.  Every resident
+        entry is demoted in place (name order, deterministic) and the
+        budget zeroed.  Returns the bytes lost.
+        """
+        lost = 0
+        for name in sorted(self._entries):
+            entry = self._entries[name]
+            if entry.local:
+                lost += entry.size
+                self._demote(entry, evicted=False)
+        return lost
 
     # -- capacity ---------------------------------------------------------
 

@@ -20,7 +20,12 @@ from typing import Any, Generator
 from repro.sim.engine import Environment, Event
 from repro.sim.resources import Resource
 from repro.sim.units import mbps_to_bytes_per_us
-from repro.storage.device import BlockDevice, DeviceStats, IoRequest
+from repro.storage.device import (
+    BlockDevice,
+    DeviceStats,
+    IoRequest,
+    ReadKind,
+)
 
 
 @dataclass(frozen=True)
@@ -35,6 +40,39 @@ class RemoteStorageParameters:
     service_overhead_us: float = 120.0
 
 
+class RemoteOutageError(RuntimeError):
+    """A remote-storage request failed because the service is down."""
+
+
+@dataclass
+class RemoteFaultState:
+    """Mutable failure switches of one (or several) remote devices.
+
+    A chaos controller owns one instance and assigns it to every
+    worker's remote device, so outage/spike windows apply fleet-wide.
+    Windows are expressed as absolute sim times: a request checks
+    ``env.now`` against them on entry, which keeps the healthy path a
+    single ``is None`` branch and the faulty path free of extra
+    processes.
+    """
+
+    #: Requests entering before this sim time hit the outage.
+    outage_until: float = 0.0
+    #: ``"fail"`` raises :class:`RemoteOutageError` immediately;
+    #: ``"stall"`` parks the request until the outage lifts.
+    outage_mode: str = "fail"
+    #: Requests entering before this sim time see degraded service.
+    spike_until: float = 0.0
+    #: Latency/overhead multiplier during the spike window.
+    latency_multiplier: float = 1.0
+    #: Bandwidth multiplier (< 1 slows transfers) during the spike.
+    bandwidth_factor: float = 1.0
+    # -- counters (read by the chaos scorecard) --------------------------
+    failed_ops: int = 0
+    stalled_ops: int = 0
+    spiked_ops: int = 0
+
+
 class RemoteDevice:
     """A backing device reached over the network."""
 
@@ -46,6 +84,9 @@ class RemoteDevice:
         self.params = params or RemoteStorageParameters()
         self.name = name
         self.stats = DeviceStats()
+        #: Failure switches; ``None`` (the default) keeps every request
+        #: on the healthy path at the cost of one attribute load.
+        self.fault: RemoteFaultState | None = None
         self._link = Resource(env, capacity=1)
         self._bytes_per_us = mbps_to_bytes_per_us(
             self.params.network_bandwidth_mbps)
@@ -63,10 +104,35 @@ class RemoteDevice:
     def _round_trip(self, request: IoRequest,
                     backing_op) -> Generator[Event, Any, None]:
         params = self.params
-        yield self.env.timeout(params.network_latency_us
-                               + params.service_overhead_us)
+        latency = params.network_latency_us
+        overhead = params.service_overhead_us
+        bytes_per_us = self._bytes_per_us
+        fault = self.fault
+        if fault is not None:
+            if self.env.now < fault.outage_until:
+                if (fault.outage_mode == "fail"
+                        and request.kind is not ReadKind.DEMAND_FAULT):
+                    # Control-plane reads (promotes, prefetch, VMM-state
+                    # loads) fail fast so the failover machinery reacts.
+                    fault.failed_ops += 1
+                    raise RemoteOutageError(
+                        f"{self.name}: remote storage unreachable "
+                        f"(outage until t={fault.outage_until:.0f}us)")
+                # Stall: the request parks until the outage lifts, then
+                # proceeds at normal service rates.  Demand page faults
+                # always stall -- the kernel paging path has no way to
+                # surface an I/O error to the guest (hard-mount
+                # semantics), so the vCPU hangs until service returns.
+                fault.stalled_ops += 1
+                yield self.env.timeout(fault.outage_until - self.env.now)
+            if self.env.now < fault.spike_until:
+                fault.spiked_ops += 1
+                latency *= fault.latency_multiplier
+                overhead *= fault.latency_multiplier
+                bytes_per_us *= fault.bandwidth_factor
+        yield self.env.timeout(latency + overhead)
         yield from backing_op(request)
         # Response payload streams over the shared link.
-        transfer_us = request.nbytes / self._bytes_per_us
+        transfer_us = request.nbytes / bytes_per_us
         yield from self._link.acquire(transfer_us)
-        yield self.env.timeout(params.network_latency_us)
+        yield self.env.timeout(latency)

@@ -18,7 +18,7 @@ def test_registry_covers_every_table_and_figure():
         "fio", "hdd", "warm_background", "record_overhead",
         "mispredictions", "fallback", "ablations", "remote_storage",
         "tail_latency", "trace_replay", "trace_scale",
-        "snapstore_capacity", "snapstore_tiering",
+        "snapstore_capacity", "snapstore_tiering", "slo_scorecard",
     }
     assert set(EXPERIMENTS) == expected
 
@@ -114,6 +114,20 @@ def test_snapstore_tiering_subset():
                if row["capacity_mb"] == 512 and row["scheme"] == scheme
                and row["routing"] == "locality"]
         assert all(row["promotions"] == 0 for row in big)
+
+
+def test_slo_scorecard_subset():
+    result = run_experiment("slo_scorecard", duration_s=300.0,
+                            scenarios=("baseline", "crash"))
+    assert len(result.rows) == 4
+    for scheme in ("vanilla", "reap"):
+        # Fault-free baseline: nothing shed, nothing retried, full
+        # availability through the identical resilient plumbing.
+        assert result.metrics[f"baseline_{scheme}_availability"] == 1.0
+        assert result.metrics[f"crash_{scheme}_availability"] > 0.5
+    crash_rows = [row for row in result.rows
+                  if row["scenario"] == "crash"]
+    assert all(row["crashes"] == 1 for row in crash_rows)
 
 
 def test_render_produces_readable_report():

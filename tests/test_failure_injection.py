@@ -86,3 +86,35 @@ def test_evicting_midstream_function_is_safe():
     # Cold path still healthy after eviction tore the monitor down.
     result = testbed.invoke("victim")
     assert result.mode == "reap"
+
+
+# -- chaos scenarios under the simulation sanitizer -------------------------
+#
+# Crash/outage cells abort invocations mid-restore; the sanitizer's
+# end-of-cell leak accounting proves every abort path released its pins,
+# resources, and tier reservations.
+
+
+def sanitized_scorecard_cell(monkeypatch, scenario, scheme):
+    from repro.bench.experiments import EXPERIMENTS
+    from repro.bench.experiments.spec import run_cell_checked
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    experiment = EXPERIMENTS["slo_scorecard"]
+    cells = experiment.cells(scenarios=(scenario,), duration_s=300.0)
+    cell = next(c for c in cells if c.label == f"{scenario}/{scheme}")
+    return run_cell_checked(experiment, cell)
+
+
+@pytest.mark.parametrize("scenario", ["crash", "crash_outage"])
+@pytest.mark.parametrize("scheme", ["vanilla", "reap"])
+def test_crash_cells_are_leak_free_under_sanitizer(monkeypatch, scenario,
+                                                   scheme):
+    payload = sanitized_scorecard_cell(monkeypatch, scenario, scheme)
+    assert payload["chaos"]["crashes"] == 1
+    assert payload["availability"] > 0.0
+
+
+def test_outage_cell_is_leak_free_under_sanitizer(monkeypatch):
+    payload = sanitized_scorecard_cell(monkeypatch, "outage", "reap")
+    assert payload["chaos"]["outages"] == 1
