@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.bench.experiments.chaos_eval import SloScorecard
+from repro.bench.experiments.floor_eval import FloorStudy
 from repro.bench.experiments.characterization import (
     Fig2ColdVsWarm,
     Fig3Contiguity,
@@ -81,6 +82,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
         SnapstoreCapacity(),
         SnapstoreTiering(),
         SloScorecard(),
+        FloorStudy(),
     )
 }
 

@@ -34,13 +34,15 @@ class Testbed:
     def __init__(self, seed: int = 42, storage: str = "ssd",
                  host_params: HostParameters | None = None,
                  content: ContentMode = ContentMode.METADATA,
-                 reap_params: ReapParameters | None = None) -> None:
+                 reap_params: ReapParameters | None = None,
+                 policy_params=None) -> None:
         self.env = Environment()
         self.host = WorkerHost(self.env, params=host_params, storage=storage,
                                seed=seed)
         self.orchestrator = Orchestrator(self.host, seed=seed,
                                          content=content,
-                                         reap_params=reap_params)
+                                         reap_params=reap_params,
+                                         policy_params=policy_params)
 
     def run(self, generator: Generator) -> Any:
         """Drive a generator to completion on the event loop."""

@@ -22,7 +22,11 @@ from typing import Optional
 
 from repro.core.context import LatencyBreakdown
 from repro.core.files import ReapArtifacts
-from repro.core.policies import RestorePolicy, make_policy
+from repro.core.policies import (
+    PREFETCH_POLICIES,
+    RestorePolicy,
+    make_policy,
+)
 from repro.obs import tracer as obs_tracer
 from repro.vm.host import WorkerHost
 from repro.vm.snapshot import Snapshot
@@ -54,6 +58,11 @@ class FunctionReapState:
     fallback_to_vanilla: bool = False
     prefetch_invocations: int = 0
     history: list[str] = field(default_factory=list)
+    #: Working-set generations (recorded sets plus, under the
+    #: ``predict`` scheme, demanded sets) -- the cross-generation
+    #: prediction source (:mod:`repro.policies.predict`).  Bounded by
+    #: the appenders.
+    ws_history: list[frozenset[int]] = field(default_factory=list)
 
 
 class ReapManager:
@@ -98,7 +107,7 @@ class ReapManager:
         if selected == "parallel_pf":
             kwargs["workers"] = self.params.parallel_workers
         artifacts = state.artifacts
-        if selected in ("reap", "ws_file", "parallel_pf") and artifacts is None:
+        if selected in PREFETCH_POLICIES and artifacts is None:
             raise RuntimeError(
                 f"{snapshot.function_name}: no recorded artifacts for "
                 f"policy {selected!r}")
@@ -118,6 +127,8 @@ class ReapManager:
             state.artifacts = policy.artifacts
             state.records_done += 1
             state.mispredict_streak = 0
+            state.ws_history.append(frozenset(policy.artifacts.pages))
+            del state.ws_history[:-8]
             if self.store is not None:
                 self.store.register_reap_artifacts(function_name,
                                                    policy.artifacts)
@@ -127,7 +138,7 @@ class ReapManager:
                                args={"function": function_name,
                                      "records_done": state.records_done})
             return
-        if policy.name not in ("reap", "ws_file", "parallel_pf"):
+        if policy.name not in PREFETCH_POLICIES:
             return
         state.prefetch_invocations += 1
         monitor = getattr(policy, "monitor", None)

@@ -77,6 +77,14 @@ class RestorePolicy(abc.ABC):
         return None
         yield  # pragma: no cover - makes this a generator
 
+    def on_teardown(self) -> None:
+        """Synchronous hook before the instance is torn down.
+
+        Policies with background state (the overlap stream, shared
+        residency registrations) override this; the base policies have
+        nothing to release beyond what the orchestrator already stops.
+        """
+
 
 class VanillaPolicy(RestorePolicy):
     """Baseline: the host kernel lazily pages the memory file in."""
@@ -312,7 +320,11 @@ POLICIES: dict[str, type[RestorePolicy]] = {
 
 #: Policies that eagerly install recorded pages before resume; only
 #: these can leave prefetched pages untouched (§7.1 mispredictions).
-PREFETCH_POLICIES: tuple[str, ...] = ("parallel_pf", "ws_file", "reap")
+#: The last three live in :mod:`repro.policies` (the floor_study zoo)
+#: and are unreachable unless that layer -- or a forced mode -- names
+#: them, so listing them here costs the default path nothing.
+PREFETCH_POLICIES: tuple[str, ...] = ("parallel_pf", "ws_file", "reap",
+                                      "overlap", "predict", "shared")
 
 
 def make_policy(name: str, host: WorkerHost, snapshot: Snapshot,
@@ -320,6 +332,10 @@ def make_policy(name: str, host: WorkerHost, snapshot: Snapshot,
                 artifacts: Optional[ReapArtifacts] = None,
                 **kwargs) -> RestorePolicy:
     """Instantiate a policy by name."""
+    if name not in POLICIES and name in PREFETCH_POLICIES:
+        # The policy-zoo classes register themselves on import; pull
+        # them in lazily so the default path never pays the import.
+        import repro.policies  # noqa: F401  (registration side effect)
     try:
         policy_cls = POLICIES[name]
     except KeyError:

@@ -239,7 +239,7 @@ class Cluster:
                  content: ContentMode = ContentMode.METADATA,
                  snapstore_params: "TierParameters | None" = None,
                  locality_aware: bool = True,
-                 seed: int = 42) -> None:
+                 seed: int = 42, policy_params=None) -> None:
         if n_workers < 1:
             raise ValueError("cluster needs at least one worker")
         self.env = env
@@ -249,6 +249,9 @@ class Cluster:
         self._reap_params = reap_params
         self._content = content
         self._snapstore_params = snapstore_params
+        #: Cold-start policy layer config; each worker gets its *own*
+        #: layer (shared residency is per-host page cache, not global).
+        self._policy_params = policy_params
         #: Profiles deployed so far (joining workers receive them all).
         self.profiles: list[FunctionProfile] = []
         #: The attached chaos controller, if any
@@ -267,7 +270,8 @@ class Cluster:
         orchestrator = Orchestrator(
             host, seed=derive_seed(self._seed, "orch", index),
             content=self._content, reap_params=self._reap_params,
-            snapstore_params=self._snapstore_params)
+            snapstore_params=self._snapstore_params,
+            policy_params=self._policy_params)
         autoscaler = Autoscaler(orchestrator, self._autoscaler_params)
         orchestrator.set_obs_proc(f"worker{index}")
         return Worker(index=index, host=host, orchestrator=orchestrator,

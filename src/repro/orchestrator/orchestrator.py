@@ -99,7 +99,8 @@ class Orchestrator:
     def __init__(self, host: WorkerHost, seed: int = 42,
                  content: ContentMode = ContentMode.METADATA,
                  reap_params: ReapParameters | None = None,
-                 snapstore_params: "TierParameters | None" = None) -> None:
+                 snapstore_params: "TierParameters | None" = None,
+                 policy_params=None) -> None:
         self.host = host
         self.env = host.env
         self.seed = seed
@@ -111,6 +112,13 @@ class Orchestrator:
             self.snapstore = TieredSnapshotStore(host, snapstore_params)
         self.snapshot_store = SnapshotStore(host, tiered=self.snapstore)
         self.reap = ReapManager(host, reap_params, store=self.snapstore)
+        #: Optional cold-start policy layer (the floor_study zoo,
+        #: :mod:`repro.policies`); ``None`` -- the default everywhere --
+        #: keeps the plain REAP mode selection with zero overhead.
+        self.policy_layer = None
+        if policy_params is not None:
+            from repro.policies import ColdStartPolicyLayer
+            self.policy_layer = ColdStartPolicyLayer(self, policy_params)
         self._functions: dict[str, DeployedFunction] = {}
         #: Trace process name of this worker (clusters override it so
         #: each worker maps to its own pid in exported traces).
@@ -200,6 +208,8 @@ class Orchestrator:
         applies the paper's §4.1 cold-invocation methodology.
         """
         entry = self.function(name)
+        if self.policy_layer is not None:
+            self.policy_layer.observe_invocation(name, self.env.now)
         if use_warm and entry.warm:
             result = yield from self._invoke_warm(entry, entry.warm[0])
         else:
@@ -310,7 +320,7 @@ class Orchestrator:
         # pins the policy itself: REAP state may change across the
         # promote/load yields (a concurrent record completing), and the
         # policy must match what was promoted.
-        selected = mode or self.reap.mode_for(entry.profile.name)
+        selected = mode or self._auto_mode(entry.profile.name)
         tracer = obs_tracer.ACTIVE
         lane = None
         cold_span = None
@@ -334,7 +344,7 @@ class Orchestrator:
                     tracer.end(span, self.env.now,
                                args={"pinned": len(pinned)})
                 if (mode is None
-                        and selected in ("reap", "ws_file", "parallel_pf")
+                        and selected in PREFETCH_POLICIES
                         and breakdown.extra.get("artifact_unreachable")):
                     # The recorded trace/WS artifacts sit behind an
                     # unreachable remote service: degrade to a vanilla
@@ -383,13 +393,13 @@ class Orchestrator:
         # (re-record / refresh) during the promote/load yields; an
         # auto-selected prefetch mode then falls back gracefully rather
         # than demanding artifacts that no longer exist.
-        if (not forced and mode in ("reap", "ws_file", "parallel_pf")
+        if (not forced and mode in PREFETCH_POLICIES
                 and self.reap.state_for(entry.profile.name).artifacts
                 is None):
-            mode = self.reap.mode_for(entry.profile.name)
+            mode = self._auto_mode(entry.profile.name)
 
         # 2. Instantiate and eagerly populate per the restore policy.
-        policy = self.reap.policy_for(snapshot, breakdown, mode)
+        policy = self._policy_for(snapshot, breakdown, mode)
         trace = entry.behavior.trace_for(invocation,
                                          record=(policy.name == "record"))
         vm = self.snapshot_store.instantiate(snapshot, policy.backing,
@@ -471,14 +481,21 @@ class Orchestrator:
             raise
         # §7.1 mispredictions: only prefetch policies install pages that
         # can go untouched; every other policy reports an explicit 0 so
-        # aggregations see the field uniformly.
-        if (policy.name in PREFETCH_POLICIES
+        # aggregations see the field uniformly.  Policies that install
+        # beyond the recorded set (predict) expose the full set via
+        # ``prefetched_page_set``.
+        prefetched_set = getattr(policy, "prefetched_page_set", None)
+        if (prefetched_set is None and policy.name in PREFETCH_POLICIES
                 and policy.artifacts is not None):
-            untouched = policy.artifacts.page_set - trace.page_set
-            breakdown.unused_prefetched = len(untouched)
+            prefetched_set = policy.artifacts.page_set
+        if prefetched_set is not None:
+            breakdown.unused_prefetched = len(
+                prefetched_set - trace.page_set)
         else:
             breakdown.unused_prefetched = 0
         self.reap.complete(entry.profile.name, policy)
+        if self.policy_layer is not None:
+            self.policy_layer.observe_complete(entry.profile.name, policy)
 
         vm.invocations_served += 1
         warm = WarmInstance(vm=vm, policy=policy)
@@ -507,8 +524,115 @@ class Orchestrator:
         yield self.env.timeout(params.device_setup_ms * MS)
         breakdown.load_vmm_us = self.env.now - phase_start
 
+    def _auto_mode(self, name: str) -> str:
+        """Automatic restore-mode selection (REAP, then the layer)."""
+        selected = self.reap.mode_for(name)
+        if self.policy_layer is not None:
+            selected = self.policy_layer.select_mode(name, selected)
+        return selected
+
+    def _policy_for(self, snapshot: Snapshot,
+                    breakdown: LatencyBreakdown,
+                    mode: str) -> RestorePolicy:
+        """Build the restore policy (layer schemes or plain REAP)."""
+        if self.policy_layer is not None:
+            return self.policy_layer.policy_for(snapshot, breakdown, mode)
+        return self.reap.policy_for(snapshot, breakdown, mode)
+
+    # -- speculative prewarm ------------------------------------------------
+
+    def prewarm(self, name: str) -> Generator[Event, Any, bool]:
+        """Speculatively restore one instance up to its connected state.
+
+        The ``prewarm`` scheme's timer path (:mod:`repro.policies.prewarm`):
+        a full cold restore -- artifact promotion, VMM load, policy
+        prepare, gRPC handshake, connection pages -- that then parks the
+        instance in the warm pool instead of serving an invocation.  The
+        next arrival hits warm.  Speculation never records (no recorded
+        artifacts means a plain vanilla restore) and never consumes an
+        invocation's trace.  Returns whether an instance was parked.
+        """
+        entry = self.function(name)
+        if entry.snapshot is None or entry.warm:
+            return False
+        snapshot = entry.snapshot
+        breakdown = LatencyBreakdown(function=entry.profile.name,
+                                     invocation=-1)
+        selected = self._auto_mode(name)
+        if selected == "record":
+            selected = "vanilla"
+        tracer = obs_tracer.ACTIVE
+        lane = None
+        span = None
+        if tracer is not None:
+            lane = f"prewarm:{name}"
+            span = tracer.begin(
+                "prewarm", self.env.now, lane=lane, proc=self.obs_proc,
+                cat="policy",
+                args={"function": name, "mode": selected})
+        try:
+            pinned = []
+            if self.snapstore is not None:
+                pinned = yield from self.snapstore.ensure_for_restore(
+                    name, selected, breakdown)
+                if (selected in PREFETCH_POLICIES
+                        and breakdown.extra.get("artifact_unreachable")):
+                    selected = "vanilla"
+            try:
+                yield from self._load_vmm(snapshot, breakdown)
+                if (selected in PREFETCH_POLICIES
+                        and self.reap.state_for(name).artifacts is None):
+                    selected = self._auto_mode(name)
+                    if selected == "record":
+                        selected = "vanilla"
+                policy = self._policy_for(snapshot, breakdown, selected)
+                # Peek (not consume) the next invocation's trace: the
+                # connection pages are the stable infrastructure set.
+                trace = entry.behavior.trace_for(entry.invocations)
+                vm = self.snapshot_store.instantiate(
+                    snapshot, policy.backing, content=self.content)
+                policy.attach(vm)
+                try:
+                    try:
+                        yield from policy.prepare(vm)
+                    except ArtifactFormatError:
+                        breakdown.extra["artifact_error"] = True
+                        self.reap.state_for(name).artifacts = None
+                        if self.snapstore is not None:
+                            self.snapstore.release_reap_artifacts(name)
+                    vm.transition(VmState.RUNNING)
+                    handler = policy.fault_handler(vm)
+                    phase_start = self.env.now
+                    yield self.env.timeout(
+                        self.host.params.grpc_handshake_ms * MS)
+                    yield from vm.vcpu.execute_phase(
+                        vm.memory, trace.connection_pages,
+                        trace.connection_compute_us, handler,
+                        obs_lane=lane, obs_proc=self.obs_proc)
+                    vm.connected = True
+                    breakdown.connection_us = self.env.now - phase_start
+                    yield from policy.finish(vm)
+                except BaseException:
+                    self._teardown_instance(
+                        WarmInstance(vm=vm, policy=policy))
+                    raise
+                entry.warm.append(WarmInstance(vm=vm, policy=policy))
+            finally:
+                if pinned:
+                    self.snapstore.unpin(pinned)
+        except BaseException:
+            if tracer is not None:
+                tracer.abort_lane(lane, self.env.now, proc=self.obs_proc)
+            raise
+        if tracer is not None:
+            tracer.end(span, self.env.now,
+                       args={"policy": policy.name,
+                             "total_us": breakdown.total_us})
+        return True
+
     def _teardown_instance(self, warm: WarmInstance) -> None:
         if warm.policy is not None:
+            warm.policy.on_teardown()
             monitor = getattr(warm.policy, "monitor", None)
             if monitor is not None:
                 monitor.stop()

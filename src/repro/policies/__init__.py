@@ -1,0 +1,42 @@
+"""Pluggable cold-start policies beyond vanilla/REAP (the policy zoo).
+
+This package implements the ``floor_study`` schemes -- prefetch/resume
+overlap, cross-generation working-set prediction, co-resident chunk
+sharing, and periodicity-driven prewarm -- as
+:class:`~repro.core.policies.RestorePolicy` subclasses plus a
+per-worker :class:`ColdStartPolicyLayer` that threads them through the
+orchestrator.  Importing the package registers the new policies in
+:data:`repro.core.policies.POLICIES`, so forced modes
+(``invoke(mode="overlap")``) work too; :func:`~repro.core.policies.make_policy`
+performs that import lazily on the first unknown name, keeping the
+default path import-free.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import POLICIES
+from repro.policies.layer import (
+    SCHEMES,
+    ColdStartPolicyLayer,
+    PolicyLayerParameters,
+)
+from repro.policies.overlap import OverlapPolicy
+from repro.policies.predict import PredictPolicy
+from repro.policies.prewarm import PrewarmManager
+from repro.policies.shared import SharedPolicy, SharedResidency
+
+__all__ = [
+    "SCHEMES",
+    "ColdStartPolicyLayer",
+    "OverlapPolicy",
+    "PolicyLayerParameters",
+    "PredictPolicy",
+    "PrewarmManager",
+    "SharedPolicy",
+    "SharedResidency",
+]
+
+# Register the zoo for by-name construction (forced benchmark modes).
+for _policy in (OverlapPolicy, PredictPolicy, SharedPolicy):
+    POLICIES.setdefault(_policy.name, _policy)
+del _policy

@@ -178,6 +178,14 @@ class ChunkIndex:
         """Whether ``object_id`` is indexed."""
         return object_id in self._objects
 
+    def contains(self, digest: bytes) -> bool:
+        """Whether a chunk with ``digest`` is currently stored.
+
+        The residency query of the ``shared`` cold-start policy: a
+        chunk some indexed object holds is a hit for every other VM.
+        """
+        return digest in self._refs
+
     def object_ids(self) -> list[str]:
         """All indexed object ids, in insertion order."""
         return list(self._objects)

@@ -41,6 +41,11 @@ MODE_ARTIFACTS: dict[str, tuple[str, ...]] = {
     "parallel_pf": ("vmm", "trace", "mem"),
     "ws_file": ("vmm", "trace", "ws"),
     "reap": ("vmm", "trace", "ws"),
+    # Policy-zoo schemes (repro.policies): all REAP-shaped -- they read
+    # the trace + WS eagerly and demand-fault the unique remainder.
+    "overlap": ("vmm", "trace", "ws"),
+    "predict": ("vmm", "trace", "ws"),
+    "shared": ("vmm", "trace", "ws"),
 }
 
 

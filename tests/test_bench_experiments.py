@@ -19,6 +19,7 @@ def test_registry_covers_every_table_and_figure():
         "mispredictions", "fallback", "ablations", "remote_storage",
         "tail_latency", "trace_replay", "trace_scale",
         "snapstore_capacity", "snapstore_tiering", "slo_scorecard",
+        "floor_study",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -49,8 +49,12 @@ def invoke(env, orch, name, **kwargs):
 
 
 def test_policy_registry_complete():
-    assert set(POLICIES) == {"vanilla", "record", "parallel_pf", "ws_file",
-                             "reap"}
+    core = {"vanilla", "record", "parallel_pf", "ws_file", "reap"}
+    assert core <= set(POLICIES)
+    # The policy-zoo schemes register lazily on first use (importing
+    # repro.policies); whether they are present depends on test order,
+    # but nothing else may appear.
+    assert set(POLICIES) - core <= {"overlap", "predict", "shared"}
 
 
 def test_make_policy_unknown_name():

@@ -1,0 +1,104 @@
+"""The floor_study experiment: ranking, acceptance, and pinned digests.
+
+Built on :mod:`harness` (the seeded case generator + golden-digest
+helper this PR introduces): the digest tests pin the floor_study cells
+themselves AND re-pin fig7 / trace_scale / snapstore_tiering cells whose
+goldens were recorded from the pre-policy tree -- proof the disabled
+policy layer is invisible to every existing experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import assert_cell_digest_stable, cell_digests
+from repro.bench.experiments import EXPERIMENTS, resolve
+from repro.bench.experiments.floor_eval import (
+    FUNCTIONS,
+    MIXES,
+    SCHEMES,
+    WARM_FLOOR,
+    FloorStudy,
+)
+
+
+@pytest.fixture(scope="module")
+def sporadic_result():
+    return EXPERIMENTS["floor_study"].run(mixes=["sporadic"])
+
+
+def test_registered_with_alias():
+    assert resolve("floor_study") == "floor_study"
+    assert resolve("policy_zoo") == "floor_study"
+    assert isinstance(EXPERIMENTS["floor_study"], FloorStudy)
+
+
+def test_cells_cover_every_scheme_and_mix():
+    cells = EXPERIMENTS["floor_study"].cells()
+    labels = {cell.label for cell in cells}
+    assert len(MIXES) >= 2
+    assert len(SCHEMES) == 6
+    for mix in MIXES:
+        for scheme in (*SCHEMES, WARM_FLOOR):
+            assert f"{mix}/{scheme}" in labels
+    # Equal memory budget across every contestant cell.
+    budgets = {cell.params["memory_budget_mb"] for cell in cells}
+    assert budgets == {1024.0}
+    functions = {tuple(cell.params["functions"]) for cell in cells}
+    assert functions == {FUNCTIONS}
+
+
+def test_rows_rank_and_gap_schema(sporadic_result):
+    rows = {row["scheme"]: row for row in sporadic_result.rows}
+    assert set(rows) == {*SCHEMES, WARM_FLOOR}
+    assert rows[WARM_FLOOR]["gap_p50_ms"] == 0.0
+    assert rows[WARM_FLOOR]["rank"] == "-"
+    assert rows[WARM_FLOOR]["cold_fraction"] == "0%"
+    ranks = sorted(rows[scheme]["rank"] for scheme in SCHEMES)
+    assert ranks == [1, 2, 3, 4, 5, 6]
+    ordered = sorted(SCHEMES, key=lambda scheme: rows[scheme]["rank"])
+    gaps = [rows[scheme]["gap_p50_ms"] for scheme in ordered]
+    assert gaps == sorted(gaps)
+
+
+def test_gap_metrics_are_distances_to_the_floor(sporadic_result):
+    metrics = sporadic_result.metrics
+    for scheme in SCHEMES:
+        assert f"sporadic_{scheme}_gap_p50_ms" in metrics
+        assert metrics[f"sporadic_{scheme}_floor_ratio"] >= 1.0
+    assert metrics["sporadic_best_gap_p50_ms"] == \
+        min(metrics[f"sporadic_{scheme}_gap_p50_ms"]
+            for scheme in SCHEMES)
+    # Lazy paging sits far above the floor; every prefetch scheme is
+    # well below it.
+    assert metrics["sporadic_vanilla_gap_p50_ms"] > \
+        2 * metrics["sporadic_reap_gap_p50_ms"]
+
+
+def test_sporadic_zoo_beats_reap(sporadic_result):
+    """The acceptance criterion: >= 1 scheme closer to the floor."""
+    metrics = sporadic_result.metrics
+    assert metrics["sporadic_zoo_beats_reap"] == 1.0
+    assert metrics["sporadic_overlap_gap_p50_ms"] < \
+        metrics["sporadic_reap_gap_p50_ms"]
+
+
+def test_floor_study_digests_pinned():
+    assert_cell_digest_stable("floor_study", mixes=["sporadic"])
+
+
+def test_floor_study_deterministic_across_runs():
+    first = cell_digests("floor_study", seed=42, mixes=["sporadic"],
+                         duration_s=300.0)
+    second = cell_digests("floor_study", seed=42, mixes=["sporadic"],
+                          duration_s=300.0)
+    assert first == second
+
+
+def test_existing_experiments_unchanged_with_policies_present():
+    """Zero-cost-off: goldens recorded from the pre-policy tree."""
+    assert_cell_digest_stable("trace_scale", cluster_sizes=[1],
+                              duration_s=200.0)
+    assert_cell_digest_stable("snapstore_tiering", capacities_mb=[256],
+                              policies=["lru"], duration_s=300.0,
+                              repetitions=1)

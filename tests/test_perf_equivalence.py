@@ -478,3 +478,15 @@ def test_fastpath_slowpath_experiment_byte_identical(monkeypatch):
     assert fast_rows == slow_rows
     assert fast_events == slow_events
     assert fast_events > 0
+
+
+def test_fig7_cell_digest_matches_golden():
+    """Golden-digest pin through the shared test harness: the fig7
+    helloworld cell payload must digest to the value recorded in
+    ``tests/golden_digests.json`` before the policy layer existed --
+    any fast-path or policy-threading change that shifts the payload
+    shows up here as a digest drift."""
+    from harness import assert_cell_digest_stable
+
+    assert_cell_digest_stable("fig7", repetitions=2,
+                              function="helloworld")
